@@ -1,0 +1,73 @@
+//! Wall-clock Criterion benchmarks of the real CPU kernel paths:
+//! sequential reference vs node-parallel (rayon row tasks) vs
+//! hybrid-parallel (rayon element chunks), on balanced and skewed inputs.
+//!
+//! The hybrid CPU path mirrors the paper's GPU insight at thread
+//! granularity: under degree skew, row-parallel scheduling leaves threads
+//! idle while hybrid chunking stays balanced.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hpsparse_core::cpu;
+use hpsparse_datasets::generators::{GeneratorConfig, Topology};
+use hpsparse_sparse::{reference, Dense};
+
+fn features(rows: usize, k: usize) -> Dense {
+    Dense::from_fn(rows, k, |i, j| (((i * 131 + j * 17) % 997) as f32) * 1e-3)
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu_spmm");
+    group.sample_size(10);
+    for (name, topology) in [
+        ("uniform", Topology::Uniform),
+        ("powerlaw", Topology::PowerLaw { alpha: 1.9 }),
+    ] {
+        let g = GeneratorConfig {
+            nodes: 20_000,
+            edges: 400_000,
+            topology,
+            seed: 1,
+        }
+        .generate();
+        let s = g.to_hybrid();
+        let csr = s.to_csr();
+        let a = features(s.cols(), 64);
+        group.throughput(Throughput::Elements(s.nnz() as u64 * 64));
+        group.bench_with_input(BenchmarkId::new("sequential", name), &(), |b, ()| {
+            b.iter(|| reference::spmm(&s, &a).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("row_parallel", name), &(), |b, ()| {
+            b.iter(|| cpu::par_spmm_row(&csr, &a).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("hybrid_parallel", name), &(), |b, ()| {
+            b.iter(|| cpu::par_spmm_hybrid(&s, &a, 0).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_sddmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu_sddmm");
+    group.sample_size(10);
+    let g = GeneratorConfig {
+        nodes: 20_000,
+        edges: 400_000,
+        topology: Topology::PowerLaw { alpha: 2.1 },
+        seed: 2,
+    }
+    .generate();
+    let s = g.to_hybrid();
+    let a1 = features(s.rows(), 64);
+    let a2t = features(s.cols(), 64);
+    group.throughput(Throughput::Elements(s.nnz() as u64 * 64));
+    group.bench_function("sequential", |b| {
+        b.iter(|| reference::sddmm_transposed(&s, &a1, &a2t).unwrap())
+    });
+    group.bench_function("element_parallel", |b| {
+        b.iter(|| cpu::par_sddmm(&s, &a1, &a2t).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmm, bench_sddmm);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benchmarks of the reordering implementations (§IV-D is a
+//! runtime comparison, so the reorderers' wall clock is a first-class
+//! deliverable).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hpsparse_datasets::generators::{GeneratorConfig, Topology};
+use hpsparse_reorder::{advisor_reorder, gcr_reorder, lsh_pair_merge_reorder};
+
+fn bench_reorderers(c: &mut Criterion) {
+    let g = GeneratorConfig {
+        nodes: 20_000,
+        edges: 250_000,
+        topology: Topology::Community {
+            communities: 50,
+            p_in: 0.8,
+            alpha: 2.2,
+        },
+        seed: 3,
+    }
+    .generate();
+
+    let mut group = c.benchmark_group("reorder");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(g.num_edges() as u64));
+    group.bench_with_input(BenchmarkId::new("method", "gcr_louvain"), &(), |b, ()| {
+        b.iter(|| gcr_reorder(&g))
+    });
+    group.bench_with_input(BenchmarkId::new("method", "gnnadvisor"), &(), |b, ()| {
+        b.iter(|| advisor_reorder(&g))
+    });
+    group.bench_with_input(BenchmarkId::new("method", "lsh_pair_merge"), &(), |b, ()| {
+        b.iter(|| lsh_pair_merge_reorder(&g, 1024))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reorderers);
+criterion_main!(benches);

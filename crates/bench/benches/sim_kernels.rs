@@ -1,0 +1,46 @@
+//! Criterion benchmarks of the simulator itself: how fast each kernel
+//! model executes per sparse element. This bounds how large a graph the
+//! `repro` harness can afford and catches performance regressions in the
+//! cache/tally hot paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hpsparse_core::baselines::{CusparseCooAlg4, CusparseCsrAlg2, GeSpmm};
+use hpsparse_core::hp::HpSpmm;
+use hpsparse_core::traits::SpmmKernel;
+use hpsparse_datasets::generators::{GeneratorConfig, Topology};
+use hpsparse_sim::DeviceSpec;
+use hpsparse_sparse::Dense;
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let g = GeneratorConfig {
+        nodes: 10_000,
+        edges: 150_000,
+        topology: Topology::PowerLaw { alpha: 2.2 },
+        seed: 5,
+    }
+    .generate();
+    let s = g.to_hybrid();
+    let a = Dense::from_fn(s.cols(), 64, |i, j| ((i + j) as f32 * 1e-3).sin());
+    let v100 = DeviceSpec::v100();
+
+    let mut group = c.benchmark_group("sim_spmm");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(s.nnz() as u64));
+    let hp = HpSpmm::auto(&v100, &s, 64);
+    group.bench_with_input(BenchmarkId::new("kernel", "HP-SpMM"), &(), |b, ()| {
+        b.iter(|| hp.run(&v100, &s, &a).unwrap())
+    });
+    for (label, kernel) in [
+        ("ALG2", Box::new(CusparseCsrAlg2) as Box<dyn SpmmKernel>),
+        ("ALG4", Box::new(CusparseCooAlg4)),
+        ("GE-SpMM", Box::new(GeSpmm)),
+    ] {
+        group.bench_with_input(BenchmarkId::new("kernel", label), &(), |b, ()| {
+            b.iter(|| kernel.run(&v100, &s, &a).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_throughput);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! `repro` — regenerates every table and figure of the paper's §IV.
+//!
+//! ```text
+//! repro [--quick|--full] [--json DIR] <experiment>...
+//!
+//! experiments:
+//!   fig9     kernel benchmarks, full-graph dataset (V100)
+//!   fig9a30  kernel benchmarks, full-graph dataset (A30)
+//!   fig10    kernel benchmarks, graph-sampling dataset (V100)
+//!   table3   average-speedup summary across devices and datasets
+//!   table4   preprocessing vs execution comparison (A30)
+//!   tcgnn    TC-GNN Tensor-Core comparison (RTX 3090)
+//!   reorder  §IV-D reordering-runtime comparison
+//!   fig11    DTP / HVMA / GCR ablation
+//!   fig12    degree-variance sensitivity (Pearson's r)
+//!   fig13    feature-dimension (K) sensitivity
+//!   alpha    DTP wave-factor design ablation
+//!   futurework  register-lean HP-SpMM at large K (paper's future work)
+//!   bell     Blocked-ELL vs hybrid CSR/COO across structures (extension)
+//!   fused    FusedMM vs unfused pipeline (extension)
+//!   table5   end-to-end GNN training
+//!   formats  §II storage-format comparison
+//!   profile  Nsight-style kernel profiles on Flickr
+//!   datasets Table II stand-in verification
+//!   all      everything above
+//! ```
+
+use hpsparse_bench::experiments::{
+    ablation, datasets_table, endtoend, extensions, formats, fullgraph, kernel_profile, ksweep,
+    preprocessing, reordering, sampling, summary, variance, Effort, ExperimentOutput,
+};
+use hpsparse_sim::DeviceSpec;
+
+const K: usize = 64;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut effort = Effort::Full;
+    let mut json_dir: Option<String> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => effort = Effort::Quick,
+            "--full" => effort = Effort::Full,
+            "--json" => {
+                json_dir = Some(it.next().unwrap_or_else(|| usage("--json needs a directory")))
+            }
+            "--help" | "-h" => usage(""),
+            other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        usage("no experiment given");
+    }
+    if wanted.iter().any(|w| w == "all") {
+        wanted = [
+            "formats", "fig9", "fig9a30", "fig10", "table3", "table4", "tcgnn", "reorder",
+            "fig11", "fig12", "fig13", "alpha", "futurework", "bell", "fused", "table5",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    for name in &wanted {
+        let started = std::time::Instant::now();
+        let out = dispatch(name, effort);
+        println!("{}", out.text);
+        eprintln!("[{name} finished in {:.1}s]\n", started.elapsed().as_secs_f64());
+        if let Some(dir) = &json_dir {
+            std::fs::create_dir_all(dir).expect("create json dir");
+            let path = format!("{dir}/{}.json", out.id);
+            std::fs::write(&path, serde_json::to_string_pretty(&out.json).unwrap())
+                .expect("write json");
+            eprintln!("[wrote {path}]");
+        }
+    }
+}
+
+fn dispatch(name: &str, effort: Effort) -> ExperimentOutput {
+    match name {
+        "fig9" => fullgraph::run(&DeviceSpec::v100(), effort, K),
+        "fig9a30" => {
+            let mut out = fullgraph::run(&DeviceSpec::a30(), effort, K);
+            out.id = "fig9a30";
+            out
+        }
+        "fig10" => sampling::run(&DeviceSpec::v100(), effort, K),
+        "fig10a30" => {
+            let mut out = sampling::run(&DeviceSpec::a30(), effort, K);
+            out.id = "fig10a30";
+            out
+        }
+        "table3" => summary::run(effort, K),
+        "table4" => preprocessing::run_table4(effort, K),
+        "tcgnn" => preprocessing::run_tcgnn(effort, K),
+        "reorder" => reordering::run(effort, K),
+        "fig11" => ablation::run(effort, K),
+        "fig12" => variance::run(effort, K),
+        "fig13" => ksweep::run(effort),
+        "alpha" => ablation::alpha_sweep(effort, K),
+        "futurework" => extensions::run_futurework(effort),
+        "bell" => extensions::run_bell(effort),
+        "fused" => extensions::run_fused(effort),
+        "table5" => endtoend::run(effort),
+        "formats" => formats::run(effort, K),
+        "profile" => kernel_profile::run(effort, K),
+        "datasets" => datasets_table::run(effort),
+        other => usage(&format!("unknown experiment {other}")),
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: repro [--quick|--full] [--json DIR] <experiment>...\n\
+         experiments: fig9 fig9a30 fig10 table3 table4 tcgnn reorder fig11 \
+         fig12 fig13 alpha futurework bell fused table5 formats profile datasets all"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,199 @@
+//! Fig. 9 — kernel performance on the full-graph dataset (19 graphs,
+//! K = 64, Tesla V100).
+
+use crate::experiments::{Effort, ExperimentOutput};
+use crate::runner::{
+    geomean, operands, sddmm_contenders, spmm_contenders, time_hp_sddmm, time_hp_spmm,
+    time_sddmm, time_spmm,
+};
+use crate::table;
+use hpsparse_datasets::full_graph_dataset;
+use hpsparse_sim::DeviceSpec;
+use serde_json::json;
+
+/// Raw timings for one graph: HP plus every contender, both kernels.
+pub struct GraphRecord {
+    /// Dataset name.
+    pub graph: String,
+    /// Non-zeros actually benchmarked (after scaling).
+    pub nnz: usize,
+    /// Scale factor applied to the paper's size.
+    pub scale_factor: f64,
+    /// HP-SpMM execution ms.
+    pub hp_spmm_ms: f64,
+    /// `(kernel name, exec ms)` for each SpMM baseline.
+    pub spmm_baselines: Vec<(String, f64)>,
+    /// HP-SDDMM execution ms.
+    pub hp_sddmm_ms: f64,
+    /// `(kernel name, exec ms)` for each SDDMM baseline.
+    pub sddmm_baselines: Vec<(String, f64)>,
+}
+
+/// Runs HP + all contenders over the 19 Table II graphs.
+pub fn collect(device: &DeviceSpec, effort: Effort, k: usize) -> Vec<GraphRecord> {
+    let spmm_set = spmm_contenders();
+    let sddmm_set = sddmm_contenders();
+    full_graph_dataset()
+        .into_iter()
+        .map(|spec| {
+            let g = spec.generate(effort.max_edges());
+            let (s, a, a1, a2t) = operands(&g, k);
+            let hp = time_hp_spmm(device, &s, &a);
+            let spmm_baselines = spmm_set
+                .iter()
+                .map(|kern| {
+                    (
+                        kern.name().to_string(),
+                        time_spmm(kern.as_ref(), device, &s, &a).exec_ms,
+                    )
+                })
+                .collect();
+            let hp_sd = time_hp_sddmm(device, &s, &a1, &a2t);
+            let sddmm_baselines = sddmm_set
+                .iter()
+                .map(|kern| {
+                    (
+                        kern.name().to_string(),
+                        time_sddmm(kern.as_ref(), device, &s, &a1, &a2t).exec_ms,
+                    )
+                })
+                .collect();
+            GraphRecord {
+                graph: spec.name.to_string(),
+                nnz: s.nnz(),
+                scale_factor: spec.scale_factor(effort.max_edges()),
+                hp_spmm_ms: hp.exec_ms,
+                spmm_baselines,
+                hp_sddmm_ms: hp_sd.exec_ms,
+                sddmm_baselines,
+            }
+        })
+        .collect()
+}
+
+/// Renders Fig. 9 from collected records.
+pub fn run(device: &DeviceSpec, effort: Effort, k: usize) -> ExperimentOutput {
+    let records = collect(device, effort, k);
+    render(device, k, &records)
+}
+
+/// Formats records into the Fig. 9 tables.
+pub fn render(device: &DeviceSpec, k: usize, records: &[GraphRecord]) -> ExperimentOutput {
+    let spmm_names: Vec<String> = records
+        .first()
+        .map(|r| r.spmm_baselines.iter().map(|(n, _)| n.clone()).collect())
+        .unwrap_or_default();
+    let sddmm_names: Vec<String> = records
+        .first()
+        .map(|r| r.sddmm_baselines.iter().map(|(n, _)| n.clone()).collect())
+        .unwrap_or_default();
+
+    let spmm_rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            let mut row = vec![
+                r.graph.clone(),
+                format!("{}", r.nnz),
+                table::ms(r.hp_spmm_ms),
+            ];
+            for (_, ms) in &r.spmm_baselines {
+                row.push(format!(
+                    "{} ({})",
+                    table::ms(*ms),
+                    table::speedup(ms / r.hp_spmm_ms)
+                ));
+            }
+            row
+        })
+        .collect();
+    let sddmm_rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.graph.clone(), table::ms(r.hp_sddmm_ms)];
+            for (_, ms) in &r.sddmm_baselines {
+                row.push(format!(
+                    "{} ({})",
+                    table::ms(*ms),
+                    table::speedup(ms / r.hp_sddmm_ms)
+                ));
+            }
+            row
+        })
+        .collect();
+
+    let spmm_header: Vec<String> =
+        ["Graph".to_string(), "NNZ".to_string(), "HP-SpMM ms".to_string()]
+            .into_iter()
+            .chain(spmm_names.iter().map(|n| format!("{n} ms (speedup)")))
+            .collect();
+    let sddmm_header: Vec<String> = ["Graph".to_string(), "HP-SDDMM ms".to_string()]
+        .into_iter()
+        .chain(sddmm_names.iter().map(|n| format!("{n} ms (speedup)")))
+        .collect();
+
+    let mut summary = String::new();
+    let mut json_graphs = Vec::new();
+    for (bi, name) in spmm_names.iter().enumerate() {
+        let ratios: Vec<f64> = records
+            .iter()
+            .map(|r| r.spmm_baselines[bi].1 / r.hp_spmm_ms)
+            .collect();
+        summary.push_str(&format!(
+            "  SpMM geomean speedup vs {name}: {:.2}x\n",
+            geomean(&ratios)
+        ));
+    }
+    for (bi, name) in sddmm_names.iter().enumerate() {
+        let ratios: Vec<f64> = records
+            .iter()
+            .map(|r| r.sddmm_baselines[bi].1 / r.hp_sddmm_ms)
+            .collect();
+        summary.push_str(&format!(
+            "  SDDMM geomean speedup vs {name}: {:.2}x\n",
+            geomean(&ratios)
+        ));
+    }
+    for r in records {
+        json_graphs.push(json!({
+            "graph": r.graph,
+            "nnz": r.nnz,
+            "scale_factor": r.scale_factor,
+            "hp_spmm_ms": r.hp_spmm_ms,
+            "spmm_baselines": r.spmm_baselines,
+            "hp_sddmm_ms": r.hp_sddmm_ms,
+            "sddmm_baselines": r.sddmm_baselines,
+        }));
+    }
+
+    let text = format!(
+        "Fig. 9 — full-graph dataset, K = {k}, {}\n\nSpMM:\n{}\nSDDMM:\n{}\n{}",
+        device.name,
+        table::render(
+            &spmm_header.iter().map(String::as_str).collect::<Vec<_>>(),
+            &spmm_rows
+        ),
+        table::render(
+            &sddmm_header.iter().map(String::as_str).collect::<Vec<_>>(),
+            &sddmm_rows
+        ),
+        summary
+    );
+    ExperimentOutput {
+        id: "fig9",
+        text,
+        json: json!({ "device": device.name, "k": k, "graphs": json_graphs }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_all_19_graphs() {
+        let out = run(&DeviceSpec::v100(), Effort::Quick, 32);
+        assert_eq!(out.json["graphs"].as_array().unwrap().len(), 19);
+        assert!(out.text.contains("Reddit"));
+        assert!(out.text.contains("geomean speedup"));
+    }
+}

@@ -1,0 +1,74 @@
+//! `repro profile` — Nsight-style profiles of the main kernels on one
+//! graph, for studying *why* the comparisons come out the way they do.
+
+use crate::experiments::{Effort, ExperimentOutput};
+use crate::runner::bench_features;
+use hpsparse_core::baselines::{CusparseCsrAlg2, DglSddmm, GeSpmm};
+use hpsparse_core::hp::{HpSddmm, HpSpmm};
+use hpsparse_core::traits::{SddmmKernel, SpmmKernel};
+use hpsparse_datasets::registry::by_name;
+use hpsparse_sim::{profile, DeviceSpec};
+use serde_json::json;
+
+/// Profiles HP and representative baselines on Flickr.
+pub fn run(effort: Effort, k: usize) -> ExperimentOutput {
+    let device = DeviceSpec::v100();
+    let spec = by_name("Flickr").expect("Flickr in registry");
+    let g = spec.generate(effort.max_edges());
+    let s = g.to_hybrid();
+    let a = bench_features(s.cols(), k);
+    let a1 = bench_features(s.rows(), k);
+    let a2t = bench_features(s.cols(), k);
+
+    let mut text = format!(
+        "Kernel profiles on Flickr ({} nodes, {} edges, K = {k}, {})\n\n",
+        s.rows(),
+        s.nnz(),
+        device.name
+    );
+    let mut json_rows = Vec::new();
+
+    let hp = HpSpmm::auto(&device, &s, k);
+    let run = hp.run(&device, &s, &a).unwrap();
+    text.push_str(&profile::render(hp.name(), &run.report));
+    text.push('\n');
+    json_rows.push(json!({"kernel": hp.name(), "cycles": run.report.cycles}));
+
+    for kernel in [
+        Box::new(CusparseCsrAlg2) as Box<dyn SpmmKernel>,
+        Box::new(GeSpmm),
+    ] {
+        let run = kernel.run(&device, &s, &a).unwrap();
+        text.push_str(&profile::render(kernel.name(), &run.report));
+        text.push('\n');
+        json_rows.push(json!({"kernel": kernel.name(), "cycles": run.report.cycles}));
+    }
+
+    let hp_sd = HpSddmm::auto(&device, &s, k);
+    let run = hp_sd.run(&device, &s, &a1, &a2t).unwrap();
+    text.push_str(&profile::render(hp_sd.name(), &run.report));
+    text.push('\n');
+    json_rows.push(json!({"kernel": hp_sd.name(), "cycles": run.report.cycles}));
+    let run = DglSddmm.run(&device, &s, &a1, &a2t).unwrap();
+    text.push_str(&profile::render(DglSddmm.name(), &run.report));
+    json_rows.push(json!({"kernel": DglSddmm.name(), "cycles": run.report.cycles}));
+
+    ExperimentOutput {
+        id: "profile",
+        text,
+        json: json!({ "device": device.name, "k": k, "kernels": json_rows }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_all_five_kernels() {
+        let out = run(Effort::Quick, 32);
+        assert_eq!(out.json["kernels"].as_array().unwrap().len(), 5);
+        assert!(out.text.contains("HP-SpMM"));
+        assert!(out.text.contains("bound by"));
+    }
+}

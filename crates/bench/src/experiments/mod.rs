@@ -1,0 +1,53 @@
+//! One module per paper artefact; the experiment index lives in DESIGN.md.
+
+pub mod ablation;
+pub mod datasets_table;
+pub mod endtoend;
+pub mod extensions;
+pub mod formats;
+pub mod fullgraph;
+pub mod kernel_profile;
+pub mod ksweep;
+pub mod preprocessing;
+pub mod reordering;
+pub mod sampling;
+pub mod summary;
+pub mod variance;
+
+/// A rendered experiment: human-readable text plus machine-readable JSON.
+pub struct ExperimentOutput {
+    /// Experiment id, e.g. "fig9".
+    pub id: &'static str,
+    /// Rendered tables/notes.
+    pub text: String,
+    /// Serialised results for EXPERIMENTS.md regeneration.
+    pub json: serde_json::Value,
+}
+
+/// Effort level: `quick` caps input sizes for CI-speed runs; `full` uses
+/// the DESIGN.md scale (the numbers recorded in EXPERIMENTS.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Small caps, sub-minute total runtime.
+    Quick,
+    /// The scale EXPERIMENTS.md reports.
+    Full,
+}
+
+impl Effort {
+    /// Edge cap for full-graph datasets.
+    pub fn max_edges(self) -> usize {
+        match self {
+            Effort::Quick => 200_000,
+            Effort::Full => hpsparse_datasets::DEFAULT_MAX_EDGES,
+        }
+    }
+
+    /// Number of sampled subgraphs for graph-sampling experiments.
+    pub fn corpus_size(self) -> usize {
+        match self {
+            Effort::Quick => 60,
+            Effort::Full => 838,
+        }
+    }
+}

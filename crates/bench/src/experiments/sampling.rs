@@ -1,0 +1,217 @@
+//! Fig. 10 — kernel performance on the graph-sampling dataset
+//! (838 sampled subgraphs, K = 64, Tesla V100).
+//!
+//! The paper plots per-subgraph times; with 838 inputs this harness
+//! reports the distribution: per-baseline average speedup, the share of
+//! subgraphs on which HP wins (the "Percentage" column of Table III), and
+//! a size-bucketed breakdown.
+
+use crate::experiments::{Effort, ExperimentOutput};
+use crate::runner::{
+    geomean, operands, sddmm_contenders, spmm_contenders, time_hp_sddmm, time_hp_spmm,
+    time_sddmm, time_spmm,
+};
+use crate::table;
+use hpsparse_datasets::sampling_corpus;
+use hpsparse_sim::DeviceSpec;
+use serde_json::json;
+
+/// Speedup samples for one baseline across the corpus.
+pub struct BaselineStats {
+    /// Kernel name.
+    pub kernel: String,
+    /// Whether it is an SpMM (vs SDDMM) baseline.
+    pub is_spmm: bool,
+    /// Per-subgraph speedups of HP over this baseline.
+    pub speedups: Vec<f64>,
+}
+
+impl BaselineStats {
+    /// Geometric-mean speedup.
+    pub fn average(&self) -> f64 {
+        geomean(&self.speedups)
+    }
+
+    /// Fraction of subgraphs where HP is at least as fast.
+    pub fn win_rate(&self) -> f64 {
+        if self.speedups.is_empty() {
+            return 0.0;
+        }
+        self.speedups.iter().filter(|&&s| s >= 1.0).count() as f64
+            / self.speedups.len() as f64
+    }
+}
+
+/// Runs the corpus and gathers per-baseline speedup distributions, plus
+/// each subgraph's edge count (aligned with the speedup vectors).
+pub fn collect(device: &DeviceSpec, effort: Effort, k: usize) -> (Vec<BaselineStats>, Vec<usize>) {
+    let corpus = sampling_corpus(effort.corpus_size(), 0xc0ffee);
+    let spmm_set = spmm_contenders();
+    let sddmm_set = sddmm_contenders();
+    let mut stats: Vec<BaselineStats> = spmm_set
+        .iter()
+        .map(|kern| BaselineStats {
+            kernel: kern.name().to_string(),
+            is_spmm: true,
+            speedups: Vec::new(),
+        })
+        .chain(sddmm_set.iter().map(|kern| BaselineStats {
+            kernel: kern.name().to_string(),
+            is_spmm: false,
+            speedups: Vec::new(),
+        }))
+        .collect();
+    let mut sizes = Vec::with_capacity(corpus.len());
+
+    for g in &corpus {
+        let (s, a, a1, a2t) = operands(g, k);
+        sizes.push(s.nnz());
+        let hp = time_hp_spmm(device, &s, &a);
+        for (i, kern) in spmm_set.iter().enumerate() {
+            let t = time_spmm(kern.as_ref(), device, &s, &a);
+            stats[i].speedups.push(t.exec_ms / hp.exec_ms);
+        }
+        let hp_sd = time_hp_sddmm(device, &s, &a1, &a2t);
+        for (i, kern) in sddmm_set.iter().enumerate() {
+            let t = time_sddmm(kern.as_ref(), device, &s, &a1, &a2t);
+            stats[spmm_set.len() + i]
+                .speedups
+                .push(t.exec_ms / hp_sd.exec_ms);
+        }
+    }
+    (stats, sizes)
+}
+
+/// Renders the Fig. 10 summary.
+pub fn run(device: &DeviceSpec, effort: Effort, k: usize) -> ExperimentOutput {
+    let (stats, sizes) = collect(device, effort, k);
+    render(device, k, &stats, &sizes)
+}
+
+/// Formats collected stats.
+pub fn render(
+    device: &DeviceSpec,
+    k: usize,
+    stats: &[BaselineStats],
+    sizes: &[usize],
+) -> ExperimentOutput {
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for st in stats {
+        let op = if st.is_spmm { "SpMM" } else { "SDDMM" };
+        rows.push(vec![
+            op.to_string(),
+            st.kernel.clone(),
+            table::speedup(st.average()),
+            format!("{:.1}%", st.win_rate() * 100.0),
+            table::speedup(percentile(&st.speedups, 0.1)),
+            table::speedup(percentile(&st.speedups, 0.9)),
+        ]);
+        json_rows.push(json!({
+            "op": op,
+            "kernel": st.kernel,
+            "avg_speedup": st.average(),
+            "win_rate": st.win_rate(),
+        }));
+    }
+
+    // Size-bucketed HP-vs-GE-SpMM view (the imbalance story is size- and
+    // skew-dependent).
+    let mut bucket_text = String::new();
+    if let Some(ge) = stats.iter().find(|s| s.kernel == "GE-SpMM") {
+        let mut buckets: Vec<(usize, Vec<f64>)> = Vec::new();
+        for (&nnz, &sp) in sizes.iter().zip(&ge.speedups) {
+            let b = nnz.next_power_of_two().trailing_zeros() as usize;
+            match buckets.iter_mut().find(|(key, _)| *key == b) {
+                Some((_, v)) => v.push(sp),
+                None => buckets.push((b, vec![sp])),
+            }
+        }
+        buckets.sort_by_key(|(b, _)| *b);
+        bucket_text.push_str("\nHP-SpMM speedup over GE-SpMM by subgraph size:\n");
+        for (b, v) in buckets {
+            bucket_text.push_str(&format!(
+                "  ~2^{b:<2} edges: {:>4} subgraphs, geomean {:.2}x\n",
+                v.len(),
+                geomean(&v)
+            ));
+        }
+    }
+
+    let text = format!(
+        "Fig. 10 — graph-sampling dataset ({} subgraphs), K = {k}, {}\n\n{}{}",
+        sizes.len(),
+        device.name,
+        table::render(
+            &["Op", "Baseline", "Avg speedup", "HP wins", "p10", "p90"],
+            &rows
+        ),
+        bucket_text
+    );
+    ExperimentOutput {
+        id: "fig10",
+        text,
+        json: json!({
+            "device": device.name,
+            "k": k,
+            "subgraphs": sizes.len(),
+            "baselines": json_rows,
+        }),
+    }
+}
+
+fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_bounds() {
+        let xs = [3.0, 1.0, 2.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 1.0), 3.0);
+        assert_eq!(percentile(&xs, 0.5), 2.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn render_summarises_all_baselines() {
+        let stats = vec![
+            BaselineStats {
+                kernel: "GE-SpMM".into(),
+                is_spmm: true,
+                speedups: vec![1.5, 2.0, 0.9],
+            },
+            BaselineStats {
+                kernel: "DGL-SDDMM".into(),
+                is_spmm: false,
+                speedups: vec![1.2, 1.4, 1.6],
+            },
+        ];
+        let out = render(&DeviceSpec::v100(), 64, &stats, &[1000, 4000, 16_000]);
+        assert!(out.text.contains("GE-SpMM"));
+        assert!(out.text.contains("HP wins"));
+        assert!(out.text.contains("by subgraph size"));
+        let rows = out.json["baselines"].as_array().unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn win_rate_counts_correctly() {
+        let st = BaselineStats {
+            kernel: "x".into(),
+            is_spmm: true,
+            speedups: vec![0.5, 1.0, 2.0, 3.0],
+        };
+        assert!((st.win_rate() - 0.75).abs() < 1e-12);
+    }
+}

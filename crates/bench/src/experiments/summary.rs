@@ -1,0 +1,110 @@
+//! Table III — summary of kernel benchmark results across both datasets
+//! and both devices (Tesla V100 and Tesla A30).
+
+use crate::experiments::{fullgraph, sampling, Effort, ExperimentOutput};
+use crate::runner::geomean;
+use crate::table;
+use hpsparse_sim::DeviceSpec;
+use serde_json::json;
+
+/// Runs the full Table III: 2 devices × (full-graph + graph-sampling).
+pub fn run(effort: Effort, k: usize) -> ExperimentOutput {
+    let devices = [DeviceSpec::v100(), DeviceSpec::a30()];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut json_rows = Vec::new();
+
+    // Collect per-device results.
+    struct DeviceResults {
+        fg: Vec<(String, bool, f64)>,        // (kernel, is_spmm, avg speedup)
+        gs: Vec<(String, bool, f64, f64)>,   // (kernel, is_spmm, avg, win rate)
+    }
+    let mut per_device = Vec::new();
+    for device in &devices {
+        let fg_records = fullgraph::collect(device, effort, k);
+        let mut fg = Vec::new();
+        if let Some(first) = fg_records.first() {
+            for (bi, (name, _)) in first.spmm_baselines.iter().enumerate() {
+                let ratios: Vec<f64> = fg_records
+                    .iter()
+                    .map(|r| r.spmm_baselines[bi].1 / r.hp_spmm_ms)
+                    .collect();
+                fg.push((name.clone(), true, geomean(&ratios)));
+            }
+            for (bi, (name, _)) in first.sddmm_baselines.iter().enumerate() {
+                let ratios: Vec<f64> = fg_records
+                    .iter()
+                    .map(|r| r.sddmm_baselines[bi].1 / r.hp_sddmm_ms)
+                    .collect();
+                fg.push((name.clone(), false, geomean(&ratios)));
+            }
+        }
+        let (gs_stats, _) = sampling::collect(device, effort, k);
+        let gs = gs_stats
+            .into_iter()
+            .map(|s| (s.kernel.clone(), s.is_spmm, s.average(), s.win_rate()))
+            .collect();
+        per_device.push(DeviceResults { fg, gs });
+    }
+
+    // Render in the paper's layout: one row per baseline, columns for
+    // (device × dataset) averages plus the win percentage.
+    let baselines: Vec<(String, bool)> = per_device[0]
+        .fg
+        .iter()
+        .map(|(n, is_spmm, _)| (n.clone(), *is_spmm))
+        .collect();
+    for (name, is_spmm) in &baselines {
+        let mut row = vec![
+            if *is_spmm { "SpMM" } else { "SDDMM" }.to_string(),
+            name.clone(),
+        ];
+        for (dr, device) in per_device.iter().zip(&devices) {
+            let fg_avg = dr
+                .fg
+                .iter()
+                .find(|(n, _, _)| n == name)
+                .map(|(_, _, a)| *a)
+                .unwrap_or(0.0);
+            let (gs_avg, win) = dr
+                .gs
+                .iter()
+                .find(|(n, _, _, _)| n == name)
+                .map(|(_, _, a, w)| (*a, *w))
+                .unwrap_or((0.0, 0.0));
+            row.push(table::speedup(fg_avg));
+            row.push(table::speedup(gs_avg));
+            row.push(format!("{:.0}%", win * 100.0));
+            json_rows.push(json!({
+                "device": device.name,
+                "kernel": name,
+                "op": if *is_spmm { "SpMM" } else { "SDDMM" },
+                "fullgraph_avg": fg_avg,
+                "sampling_avg": gs_avg,
+                "sampling_win_rate": win,
+            }));
+        }
+        rows.push(row);
+    }
+
+    let text = format!(
+        "Table III — average HP speedups (K = {k})\n\n{}",
+        table::render(
+            &[
+                "Op",
+                "Baseline",
+                "V100 full-graph",
+                "V100 sampling",
+                "V100 wins",
+                "A30 full-graph",
+                "A30 sampling",
+                "A30 wins",
+            ],
+            &rows
+        )
+    );
+    ExperimentOutput {
+        id: "table3",
+        text,
+        json: json!({ "k": k, "rows": json_rows }),
+    }
+}

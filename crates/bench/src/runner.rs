@@ -1,0 +1,156 @@
+//! Kernel execution helpers shared by the experiments.
+
+use hpsparse_core::baselines::{
+    CusparseCooAlg4, CusparseCsrAlg2, CusparseCsrAlg3, CusparseCsrSddmm, DglSddmm, GeSpmm,
+    RowSplit,
+};
+use hpsparse_core::hp::{HpSddmm, HpSpmm};
+use hpsparse_core::traits::{SddmmKernel, SpmmKernel};
+use hpsparse_sim::DeviceSpec;
+use hpsparse_sparse::{Dense, Graph, Hybrid};
+use serde::Serialize;
+
+/// One kernel's timing on one input.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelTiming {
+    /// Kernel name (paper's labels).
+    pub kernel: String,
+    /// Execution time, milliseconds (simulated device time).
+    pub exec_ms: f64,
+    /// Preprocessing time, milliseconds (0 for preprocessing-free).
+    pub preprocess_ms: f64,
+    /// Throughput in GFLOP/s (2·NNZ·K flops over exec time).
+    pub gflops: f64,
+    /// L2 hit rate of the execution launch.
+    pub l2_hit_rate: f64,
+}
+
+/// The SpMM baselines of Fig. 9/10 (ours is run separately so callers can
+/// position it first).
+pub fn spmm_contenders() -> Vec<Box<dyn SpmmKernel>> {
+    vec![
+        Box::new(CusparseCsrAlg2),
+        Box::new(CusparseCsrAlg3),
+        Box::new(CusparseCooAlg4),
+        Box::new(GeSpmm),
+        Box::new(RowSplit),
+    ]
+}
+
+/// The SDDMM baselines of Fig. 9/10.
+pub fn sddmm_contenders() -> Vec<Box<dyn SddmmKernel>> {
+    vec![Box::new(DglSddmm), Box::new(CusparseCsrSddmm)]
+}
+
+/// Deterministic feature matrix for kernel benchmarks.
+pub fn bench_features(rows: usize, k: usize) -> Dense {
+    Dense::from_fn(rows, k, |i, j| (((i * 131 + j * 17) % 1000) as f32) * 1e-3)
+}
+
+/// Runs one SpMM kernel cold and converts its run into a [`KernelTiming`].
+pub fn time_spmm(kernel: &dyn SpmmKernel, device: &DeviceSpec, s: &Hybrid, a: &Dense) -> KernelTiming {
+    let run = kernel.run(device, s, a).expect("benchmark shapes are valid");
+    let flops = 2.0 * s.nnz() as f64 * a.cols() as f64;
+    KernelTiming {
+        kernel: kernel.name().to_string(),
+        exec_ms: run.exec_ms(),
+        preprocess_ms: run.preprocess_ms(),
+        gflops: flops / (run.exec_ms() * 1e6),
+        l2_hit_rate: run.report.l2_hit_rate,
+    }
+}
+
+/// Runs HP-SpMM (auto DTP + HVMA) cold.
+pub fn time_hp_spmm(device: &DeviceSpec, s: &Hybrid, a: &Dense) -> KernelTiming {
+    let kernel = HpSpmm::auto(device, s, a.cols());
+    time_spmm(&kernel, device, s, a)
+}
+
+/// Runs one SDDMM kernel cold.
+pub fn time_sddmm(
+    kernel: &dyn SddmmKernel,
+    device: &DeviceSpec,
+    s: &Hybrid,
+    a1: &Dense,
+    a2t: &Dense,
+) -> KernelTiming {
+    let run = kernel
+        .run(device, s, a1, a2t)
+        .expect("benchmark shapes are valid");
+    let flops = 2.0 * s.nnz() as f64 * a1.cols() as f64;
+    KernelTiming {
+        kernel: kernel.name().to_string(),
+        exec_ms: run.exec_ms(),
+        preprocess_ms: run
+            .preprocess
+            .as_ref()
+            .map_or(0.0, |p| p.time_ms),
+        gflops: flops / (run.exec_ms() * 1e6),
+        l2_hit_rate: run.report.l2_hit_rate,
+    }
+}
+
+/// Runs HP-SDDMM (auto) cold.
+pub fn time_hp_sddmm(device: &DeviceSpec, s: &Hybrid, a1: &Dense, a2t: &Dense) -> KernelTiming {
+    let kernel = HpSddmm::auto(device, s, a1.cols());
+    time_sddmm(&kernel, device, s, a1, a2t)
+}
+
+/// Converts a graph into the operand set for kernel benchmarks.
+pub fn operands(g: &Graph, k: usize) -> (Hybrid, Dense, Dense, Dense) {
+    let s = g.to_hybrid();
+    let a = bench_features(s.cols(), k);
+    let a1 = bench_features(s.rows(), k);
+    let a2t = bench_features(s.cols(), k);
+    (s, a, a1, a2t)
+}
+
+/// Geometric mean (the right average for speedup ratios).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.max(1e-12).ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpsparse_datasets::generators::{GeneratorConfig, Topology};
+
+    #[test]
+    fn contender_sets_match_the_paper() {
+        let spmm: Vec<String> = spmm_contenders().iter().map(|k| k.name().into()).collect();
+        assert!(spmm.contains(&"cuSPARSE(CSR,ALG2)".to_string()));
+        assert!(spmm.contains(&"GE-SpMM".to_string()));
+        assert!(spmm.contains(&"Row-split".to_string()));
+        let sddmm: Vec<String> =
+            sddmm_contenders().iter().map(|k| k.name().into()).collect();
+        assert!(sddmm.contains(&"DGL-SDDMM".to_string()));
+    }
+
+    #[test]
+    fn timing_roundtrip_on_small_graph() {
+        let g = GeneratorConfig {
+            nodes: 500,
+            edges: 4000,
+            topology: Topology::PowerLaw { alpha: 2.2 },
+            seed: 1,
+        }
+        .generate();
+        let (s, a, a1, a2t) = operands(&g, 32);
+        let v100 = DeviceSpec::v100();
+        let hp = time_hp_spmm(&v100, &s, &a);
+        assert!(hp.exec_ms > 0.0);
+        assert!(hp.gflops > 0.0);
+        let sd = time_hp_sddmm(&v100, &s, &a1, &a2t);
+        assert!(sd.exec_ms > 0.0);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,215 @@
+//! Real multi-threaded CPU executions of SpMM and SDDMM, built on rayon.
+//!
+//! These are not models: they are the kernels a CPU-only user of this
+//! library runs, and what the Criterion wall-clock benchmarks measure.
+//! They also serve as an independent numerical cross-check of the
+//! simulated kernels (both must match the sequential reference).
+//!
+//! Parallelisation mirrors the paper's insight at CPU granularity:
+//!
+//! * [`par_spmm_row`] — node-parallel (a rayon task per output row; cheap,
+//!   but skew-sensitive exactly like GPU node-parallelism),
+//! * [`par_spmm_hybrid`] — hybrid-parallel (fixed-size element chunks with
+//!   per-chunk partial outputs merged afterwards; balanced under skew),
+//! * [`par_sddmm`] — element-parallel SDDMM (embarrassingly parallel since
+//!   every output element is independent).
+
+use hpsparse_sparse::{Csr, Dense, FormatError, Hybrid};
+use rayon::prelude::*;
+
+/// Node-parallel CPU SpMM over CSR: one rayon task per output row.
+pub fn par_spmm_row(s: &Csr, a: &Dense) -> Result<Dense, FormatError> {
+    if s.cols() != a.rows() {
+        return Err(FormatError::DimensionMismatch {
+            context: "par_spmm_row: S.cols != A.rows",
+        });
+    }
+    let k = a.cols();
+    let mut out = Dense::zeros(s.rows(), k);
+    let col_ind = s.col_indices();
+    let values = s.values();
+    out.data_mut()
+        .par_chunks_mut(k)
+        .enumerate()
+        .for_each(|(r, o_row)| {
+            for e in s.row_range(r) {
+                let c = col_ind[e] as usize;
+                let v = values[e];
+                let a_row = a.row(c);
+                for kk in 0..k {
+                    o_row[kk] += v * a_row[kk];
+                }
+            }
+        });
+    Ok(out)
+}
+
+/// Hybrid-parallel CPU SpMM over the hybrid format: the element range is
+/// cut into `chunk`-sized tasks regardless of row boundaries; each task
+/// accumulates into a private sparse set of rows which are then merged.
+/// `chunk = 0` picks a size that yields ~8 tasks per rayon thread.
+pub fn par_spmm_hybrid(s: &Hybrid, a: &Dense, chunk: usize) -> Result<Dense, FormatError> {
+    if s.cols() != a.rows() {
+        return Err(FormatError::DimensionMismatch {
+            context: "par_spmm_hybrid: S.cols != A.rows",
+        });
+    }
+    let k = a.cols();
+    let nnz = s.nnz();
+    let chunk = if chunk == 0 {
+        (nnz / (rayon::current_num_threads() * 8)).max(1024)
+    } else {
+        chunk.max(1)
+    };
+    let row_ind = s.row_indices();
+    let col_ind = s.col_indices();
+    let values = s.values();
+
+    // Each chunk produces (first_row, partial rows) — rows fully interior
+    // to a chunk are written once; boundary rows are summed in the merge.
+    type ChunkPartial = (usize, Vec<(usize, Vec<f32>)>);
+    let partials: Vec<ChunkPartial> = (0..nnz.div_ceil(chunk))
+        .into_par_iter()
+        .map(|ci| {
+            let start = ci * chunk;
+            let end = (start + chunk).min(nnz);
+            let mut rows: Vec<(usize, Vec<f32>)> = Vec::new();
+            let mut cur_row = row_ind[start] as usize;
+            let mut acc = vec![0f32; k];
+            for i in start..end {
+                let r = row_ind[i] as usize;
+                if r != cur_row {
+                    rows.push((cur_row, std::mem::replace(&mut acc, vec![0f32; k])));
+                    cur_row = r;
+                }
+                let c = col_ind[i] as usize;
+                let v = values[i];
+                let a_row = a.row(c);
+                for kk in 0..k {
+                    acc[kk] += v * a_row[kk];
+                }
+            }
+            rows.push((cur_row, acc));
+            (start, rows)
+        })
+        .collect();
+
+    let mut out = Dense::zeros(s.rows(), k);
+    for (_, rows) in partials {
+        for (r, acc) in rows {
+            let o_row = out.row_mut(r);
+            for kk in 0..k {
+                o_row[kk] += acc[kk];
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Element-parallel CPU SDDMM: `a2t` is the transposed second operand
+/// (`N × K` row-major), as in [`hpsparse_sparse::reference::sddmm_transposed`].
+pub fn par_sddmm(s: &Hybrid, a1: &Dense, a2t: &Dense) -> Result<Vec<f32>, FormatError> {
+    if a1.rows() != s.rows() || a2t.rows() != s.cols() || a1.cols() != a2t.cols() {
+        return Err(FormatError::DimensionMismatch {
+            context: "par_sddmm operand shapes",
+        });
+    }
+    let row_ind = s.row_indices();
+    let col_ind = s.col_indices();
+    let values = s.values();
+    Ok((0..s.nnz())
+        .into_par_iter()
+        .map(|i| {
+            let r = row_ind[i] as usize;
+            let c = col_ind[i] as usize;
+            let dot: f32 = a1.row(r).iter().zip(a2t.row(c)).map(|(x, y)| x * y).sum();
+            dot * values[i]
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpsparse_sparse::reference;
+
+    fn random_ish_hybrid(rows: usize, cols: usize, nnz: usize) -> Hybrid {
+        let triplets: Vec<(u32, u32, f32)> = (0..nnz as u32)
+            .map(|i| {
+                (
+                    (i.wrapping_mul(2654435761) % rows as u32),
+                    (i.wrapping_mul(40503) % cols as u32),
+                    ((i % 17) as f32 - 8.0) * 0.25,
+                )
+            })
+            .collect();
+        Hybrid::from_triplets(rows, cols, &triplets).unwrap()
+    }
+
+    #[test]
+    fn row_parallel_matches_reference() {
+        let s = random_ish_hybrid(200, 150, 3000);
+        let a = Dense::from_fn(150, 24, |i, j| ((i * 24 + j) as f32 * 1e-2).sin());
+        let expected = reference::spmm(&s, &a).unwrap();
+        let got = par_spmm_row(&s.to_csr(), &a).unwrap();
+        assert!(got.approx_eq(&expected, 1e-4, 1e-5));
+    }
+
+    #[test]
+    fn hybrid_parallel_matches_reference_across_chunk_sizes() {
+        let s = random_ish_hybrid(100, 100, 2000);
+        let a = Dense::from_fn(100, 16, |i, j| ((i + j) as f32 * 0.1).cos());
+        let expected = reference::spmm(&s, &a).unwrap();
+        for chunk in [1, 7, 32, 1000, 10_000, 0] {
+            let got = par_spmm_hybrid(&s, &a, chunk).unwrap();
+            assert!(
+                got.approx_eq(&expected, 1e-4, 1e-5),
+                "chunk {chunk} mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn sddmm_matches_reference() {
+        let s = random_ish_hybrid(120, 90, 1500);
+        let a1 = Dense::from_fn(120, 32, |i, j| ((i * 32 + j) as f32 * 1e-2).sin());
+        let a2t = Dense::from_fn(90, 32, |i, j| ((i * 32 + j) as f32 * 1e-2).cos());
+        let expected = reference::sddmm_transposed(&s, &a1, &a2t).unwrap();
+        let got = par_sddmm(&s, &a1, &a2t).unwrap();
+        for (i, (x, y)) in got.iter().zip(&expected).enumerate() {
+            assert!((x - y).abs() < 1e-4, "element {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let s = random_ish_hybrid(10, 10, 30);
+        assert!(par_spmm_row(&s.to_csr(), &Dense::zeros(9, 4)).is_err());
+        assert!(par_spmm_hybrid(&s, &Dense::zeros(9, 4), 0).is_err());
+        assert!(par_sddmm(&s, &Dense::zeros(9, 4), &Dense::zeros(10, 4)).is_err());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let s = Hybrid::from_triplets(5, 5, &[]).unwrap();
+        let a = Dense::zeros(5, 4);
+        assert!(par_spmm_row(&s.to_csr(), &a)
+            .unwrap()
+            .data()
+            .iter()
+            .all(|&x| x == 0.0));
+        assert!(par_sddmm(&s, &Dense::zeros(5, 4), &a).unwrap().is_empty());
+    }
+
+    #[test]
+    fn single_long_row_hybrid_chunking() {
+        // A single row split across many chunks must still sum correctly.
+        let triplets: Vec<(u32, u32, f32)> =
+            (0..500u32).map(|c| (0, c % 50, 1.0)).collect();
+        let s = Hybrid::from_triplets(3, 50, &triplets).unwrap();
+        let a = Dense::from_fn(50, 8, |i, _| (i + 1) as f32);
+        let expected = reference::spmm(&s, &a).unwrap();
+        let got = par_spmm_hybrid(&s, &a, 13).unwrap();
+        assert!(got.approx_eq(&expected, 1e-4, 1e-4));
+    }
+}

@@ -1,0 +1,318 @@
+//! Task-granularity selection: Dynamic Task Partition and Hierarchical
+//! Vectorized Memory Access (§III-B of the paper).
+//!
+//! The single tunable of the hybrid-parallel strategy is `NnzPerWarp`.
+//! DTP bounds it from above so the launch produces at least
+//! `alpha × FullWaveSize` thread blocks (Ineq. 5) — enough waves to bury
+//! the tail effect. HVMA then snaps it to the candidate set
+//! `{8, 32, 64, 128, 256, 512}` so each warp's sparse-tile loads start at
+//! vector-aligned addresses, enabling `int2/float2` (64 ≤ npw < 128) or
+//! `int4/float4` (npw ≥ 128) instructions.
+
+use hpsparse_sim::{occupancy_of, DeviceSpec, KernelResources};
+
+/// The paper's candidate set for `NnzPerWarp` (§III-B2).
+pub const NNZ_PER_WARP_CANDIDATES: [usize; 6] = [512, 256, 128, 64, 32, 8];
+
+/// Default wave-count scale factor `alpha` in Ineq. 5: at least four full
+/// waves of blocks, enough that the partial last wave is noise.
+pub const DEFAULT_ALPHA: f64 = 4.0;
+
+/// Warps per thread block used by both HP kernels.
+pub const WARPS_PER_BLOCK: u32 = 8;
+
+/// Resolved launch parameters for an HP kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HpConfig {
+    /// Non-zero elements assigned to each warp (`NnzPerWarp`).
+    pub nnz_per_warp: usize,
+    /// Vector width for global loads (1 = scalar, 2 = `float2`,
+    /// 4 = `float4`).
+    pub vector_width: u32,
+    /// Warps per thread block.
+    pub warps_per_block: u32,
+    /// The `alpha` used when the config was derived (recorded for
+    /// reports).
+    pub alpha: f64,
+}
+
+/// Vector width HVMA associates with an `NnzPerWarp` value: `int4/float4`
+/// from 128 up, `int2/float2` at 64, scalar below (§III-B2).
+pub fn hvma_vector_width(nnz_per_warp: usize) -> u32 {
+    if nnz_per_warp >= 128 {
+        4
+    } else if nnz_per_warp >= 64 {
+        2
+    } else {
+        1
+    }
+}
+
+/// Largest vector width the feature dimension supports: a warp covers
+/// `32 × vw` columns, so `vw` beyond `K/32` would leave lanes idle.
+fn cap_vw_by_k(vw: u32, k: usize) -> u32 {
+    let max_by_k = (k / 32).max(1);
+    let mut v = vw.min(max_by_k as u32);
+    // Keep it a supported width.
+    while v != 1 && v != 2 && v != 4 {
+        v -= 1;
+    }
+    v
+}
+
+impl HpConfig {
+    /// Per-block resources of the HP kernels at this configuration: the
+    /// sparse tile (3 arrays × `32·vw` elements × 4 B per warp) lives in
+    /// shared memory, and register pressure grows with the vector width
+    /// and the feature dimension (each lane keeps `vw` accumulators plus
+    /// per-K bookkeeping — §IV-F: "the threads in our kernel consume more
+    /// registers than GE-SpMM", and register scarcity is what erodes the
+    /// speedup at large K).
+    pub fn resources(&self, k: usize) -> KernelResources {
+        let tile_elems = 32 * self.vector_width;
+        KernelResources {
+            warps_per_block: self.warps_per_block,
+            registers_per_thread: (28 + 6 * self.vector_width + k as u32 / 6).min(255),
+            shared_mem_per_block: 3 * tile_elems * 4 * self.warps_per_block,
+        }
+    }
+
+    /// Number of element chunks (`ceil(NNZ / NnzPerWarp)`).
+    pub fn num_chunks(&self, nnz: usize) -> u64 {
+        (nnz as u64).div_ceil(self.nnz_per_warp.max(1) as u64)
+    }
+
+    /// Number of K-slices a warp of this width covers.
+    pub fn k_slices(&self, k: usize) -> u64 {
+        (k as u64).div_ceil(32 * self.vector_width as u64)
+    }
+
+    /// Total warps of an HP-SpMM launch (chunks × K-slices).
+    pub fn spmm_warps(&self, nnz: usize, k: usize) -> u64 {
+        self.num_chunks(nnz) * self.k_slices(k)
+    }
+
+    /// Blocks of an HP-SpMM launch.
+    pub fn spmm_blocks(&self, nnz: usize, k: usize) -> u64 {
+        self.spmm_warps(nnz, k).div_ceil(self.warps_per_block as u64)
+    }
+
+    /// The *naive* configuration the paper calls the common pitfall
+    /// (§III-B1): `NnzPerWarp = NNZ / M`, scalar loads. This is the
+    /// ablation baseline "hybrid-parallel only".
+    pub fn base(nnz: usize, rows: usize) -> Self {
+        Self {
+            nnz_per_warp: (nnz / rows.max(1)).max(1),
+            vector_width: 1,
+            warps_per_block: WARPS_PER_BLOCK,
+            alpha: DEFAULT_ALPHA,
+        }
+    }
+
+    /// DTP only: shrink `NnzPerWarp` (starting from `NNZ / M`) until the
+    /// launch satisfies Ineq. 5, keeping scalar loads.
+    pub fn with_dtp(device: &DeviceSpec, nnz: usize, rows: usize, k: usize) -> Self {
+        let mut cfg = Self::base(nnz, rows);
+        let needed = Self::alpha_wave_blocks(device, &cfg, k);
+        // blocks = ceil(chunks·k_slices / wpb) ≥ needed
+        // ⇒ npw ≤ nnz·k_slices / (needed·wpb)
+        let k_slices = cfg.k_slices(k);
+        let bound =
+            (nnz as u64 * k_slices) / (needed.max(1) * cfg.warps_per_block as u64).max(1);
+        cfg.nnz_per_warp = cfg.nnz_per_warp.min((bound as usize).max(1));
+        cfg
+    }
+
+    /// HVMA only: snap `NNZ / M` to the candidate set (aligned tiles,
+    /// vectorized loads) without the wave constraint.
+    pub fn with_hvma(nnz: usize, rows: usize, k: usize) -> Self {
+        let base = (nnz / rows.max(1)).max(1);
+        let npw = NNZ_PER_WARP_CANDIDATES
+            .iter()
+            .copied()
+            .find(|&c| c <= base)
+            .unwrap_or(8);
+        Self {
+            nnz_per_warp: npw,
+            vector_width: cap_vw_by_k(hvma_vector_width(npw), k),
+            warps_per_block: WARPS_PER_BLOCK,
+            alpha: DEFAULT_ALPHA,
+        }
+    }
+
+    /// DTP + HVMA, the paper's full selection rule: take the **largest**
+    /// candidate whose launch still satisfies Ineq. 5 at that candidate's
+    /// vector width; fall back to the smallest candidate when the graph is
+    /// too small for any to produce `alpha` full waves.
+    pub fn auto(device: &DeviceSpec, nnz: usize, rows: usize, k: usize) -> Self {
+        Self::auto_with_alpha(device, nnz, rows, k, DEFAULT_ALPHA)
+    }
+
+    /// [`HpConfig::auto`] with an explicit `alpha`.
+    pub fn auto_with_alpha(
+        device: &DeviceSpec,
+        nnz: usize,
+        rows: usize,
+        k: usize,
+        alpha: f64,
+    ) -> Self {
+        let _ = rows;
+        for &candidate in &NNZ_PER_WARP_CANDIDATES {
+            let cfg = Self {
+                nnz_per_warp: candidate,
+                vector_width: cap_vw_by_k(hvma_vector_width(candidate), k),
+                warps_per_block: WARPS_PER_BLOCK,
+                alpha,
+            };
+            let needed = Self::alpha_wave_blocks(device, &cfg, k);
+            if cfg.spmm_blocks(nnz, k) >= needed {
+                return cfg;
+            }
+        }
+        let npw = *NNZ_PER_WARP_CANDIDATES.last().unwrap();
+        Self {
+            nnz_per_warp: npw,
+            vector_width: cap_vw_by_k(hvma_vector_width(npw), k),
+            warps_per_block: WARPS_PER_BLOCK,
+            alpha,
+        }
+    }
+
+    /// `alpha × FullWaveSize` — the block count Ineq. 5 demands.
+    fn alpha_wave_blocks(device: &DeviceSpec, cfg: &Self, k: usize) -> u64 {
+        let occ = occupancy_of(device, &cfg.resources(k));
+        (cfg.alpha * occ.full_wave_size as f64).ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hvma_widths_follow_the_paper() {
+        assert_eq!(hvma_vector_width(8), 1);
+        assert_eq!(hvma_vector_width(32), 1);
+        assert_eq!(hvma_vector_width(64), 2);
+        assert_eq!(hvma_vector_width(128), 4);
+        assert_eq!(hvma_vector_width(512), 4);
+    }
+
+    #[test]
+    fn base_config_is_nnz_over_m() {
+        let cfg = HpConfig::base(1000, 100);
+        assert_eq!(cfg.nnz_per_warp, 10);
+        assert_eq!(cfg.vector_width, 1);
+        let cfg = HpConfig::base(10, 100);
+        assert_eq!(cfg.nnz_per_warp, 1); // clamped up
+    }
+
+    #[test]
+    fn auto_picks_large_candidate_for_big_graphs() {
+        let v100 = DeviceSpec::v100();
+        // 50M nnz: plenty of blocks even at npw = 512.
+        let cfg = HpConfig::auto(&v100, 50_000_000, 1_000_000, 64);
+        assert_eq!(cfg.nnz_per_warp, 512);
+        assert_eq!(cfg.vector_width, 2); // capped by K=64
+    }
+
+    #[test]
+    fn auto_vector_width_uses_k128() {
+        let v100 = DeviceSpec::v100();
+        let cfg = HpConfig::auto(&v100, 50_000_000, 1_000_000, 128);
+        assert_eq!(cfg.vector_width, 4);
+    }
+
+    #[test]
+    fn auto_shrinks_for_small_graphs() {
+        let v100 = DeviceSpec::v100();
+        // A sampled subgraph: 20k edges.
+        let cfg = HpConfig::auto(&v100, 20_000, 3_000, 64);
+        assert!(
+            cfg.nnz_per_warp <= 32,
+            "expected small npw, got {}",
+            cfg.nnz_per_warp
+        );
+    }
+
+    #[test]
+    fn auto_satisfies_wave_constraint_when_picked() {
+        let v100 = DeviceSpec::v100();
+        let nnz = 5_000_000;
+        let cfg = HpConfig::auto(&v100, nnz, 100_000, 64);
+        let occ = occupancy_of(&v100, &cfg.resources(64));
+        let blocks = cfg.spmm_blocks(nnz, 64);
+        assert!(
+            blocks as f64 >= cfg.alpha * occ.full_wave_size as f64,
+            "blocks {blocks} vs needed {}",
+            cfg.alpha * occ.full_wave_size as f64
+        );
+    }
+
+    #[test]
+    fn dtp_reduces_npw_when_parallelism_is_scarce() {
+        let v100 = DeviceSpec::v100();
+        // DDI-like: few nodes, many edges — NNZ/M is huge.
+        let base = HpConfig::base(2_140_089, 4_267);
+        assert!(base.nnz_per_warp > 400);
+        let dtp = HpConfig::with_dtp(&v100, 2_140_089, 4_267, 64);
+        assert!(
+            dtp.nnz_per_warp < base.nnz_per_warp,
+            "DTP should shrink npw: {} -> {}",
+            base.nnz_per_warp,
+            dtp.nnz_per_warp
+        );
+        assert_eq!(dtp.vector_width, 1); // DTP alone keeps scalar loads
+    }
+
+    #[test]
+    fn hvma_snaps_to_candidates() {
+        let cfg = HpConfig::with_hvma(1_000_000, 10_000, 64); // base = 100
+        assert_eq!(cfg.nnz_per_warp, 64);
+        assert_eq!(cfg.vector_width, 2);
+        let cfg = HpConfig::with_hvma(1_000_000, 2_000, 64); // base = 500
+        assert_eq!(cfg.nnz_per_warp, 256);
+    }
+
+    #[test]
+    fn warp_and_block_arithmetic() {
+        let cfg = HpConfig {
+            nnz_per_warp: 64,
+            vector_width: 2,
+            warps_per_block: 8,
+            alpha: 2.0,
+        };
+        assert_eq!(cfg.num_chunks(1000), 16);
+        assert_eq!(cfg.k_slices(64), 1);
+        assert_eq!(cfg.k_slices(128), 2);
+        assert_eq!(cfg.spmm_warps(1000, 128), 32);
+        assert_eq!(cfg.spmm_blocks(1000, 128), 4);
+    }
+
+    #[test]
+    fn small_k_caps_vector_width() {
+        let v100 = DeviceSpec::v100();
+        let cfg = HpConfig::auto(&v100, 50_000_000, 1_000_000, 32);
+        assert_eq!(cfg.vector_width, 1);
+    }
+
+    #[test]
+    fn resources_scale_with_vector_width() {
+        let narrow = HpConfig {
+            nnz_per_warp: 32,
+            vector_width: 1,
+            warps_per_block: 8,
+            alpha: 2.0,
+        }
+        .resources(64);
+        let wide = HpConfig {
+            nnz_per_warp: 128,
+            vector_width: 4,
+            warps_per_block: 8,
+            alpha: 2.0,
+        }
+        .resources(64);
+        assert!(wide.registers_per_thread > narrow.registers_per_thread);
+        assert!(wide.shared_mem_per_block > narrow.shared_mem_per_block);
+    }
+}

@@ -1,0 +1,19 @@
+//! The paper's hybrid-parallel kernels.
+//!
+//! * [`config`] — Dynamic Task Partition (Eq. 3–5) and Hierarchical
+//!   Vectorized Memory Access: how `NnzPerWarp` and the vector width are
+//!   chosen.
+//! * [`spmm`] — HP-SpMM (Algorithm 3).
+//! * [`sddmm`] — HP-SDDMM (Algorithm 4).
+
+pub mod config;
+pub mod sddmm;
+pub mod spmm;
+
+pub use config::HpConfig;
+pub use sddmm::HpSddmm;
+pub use spmm::{HpSpmm, HpSpmmLean};
+
+// Re-export the kernel traits so `use hpsparse_core::hp::*` is enough to
+// run the flagship kernels.
+pub use crate::traits::{SddmmKernel, SpmmKernel};

@@ -1,0 +1,28 @@
+//! HP-SpMM and HP-SDDMM — the paper's hybrid-parallel sparse kernels —
+//! together with every baseline they are evaluated against.
+//!
+//! Each kernel exists in two forms:
+//!
+//! * a **simulated GPU form** that executes the real arithmetic while
+//!   describing its architectural events (warp assignment, tile loads,
+//!   vectorized accesses, atomics, row switches) to the
+//!   [`hpsparse_sim`] execution model — this is what reproduces the paper's
+//!   performance comparisons; and
+//! * a **parallel CPU form** ([`cpu`]) built on rayon, used for real
+//!   wall-clock Criterion benchmarks and as an independent numerical check.
+//!
+//! The module layout mirrors the paper:
+//!
+//! | Module | Paper section |
+//! |---|---|
+//! | [`hp`] | §III-A Algorithms 3–4, §III-B DTP + HVMA |
+//! | [`baselines`] | §IV-A2 (cuSPARSE, GE-SpMM, Row-split, Merge-path, ASpT, Sputnik, Huang, DGL-SDDMM, TC-GNN) |
+//! | [`cpu`] | rayon CPU executions |
+//! | [`traits`] | the `SpmmKernel` / `SddmmKernel` interfaces |
+
+pub mod baselines;
+pub mod cpu;
+pub mod hp;
+pub mod traits;
+
+pub use traits::{SddmmKernel, SddmmRun, SpmmKernel, SpmmRun};

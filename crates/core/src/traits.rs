@@ -1,0 +1,144 @@
+//! Kernel interfaces shared by HP kernels and all baselines.
+
+use hpsparse_sim::{DeviceSpec, GpuSim, LaunchReport};
+use hpsparse_sparse::{Dense, FormatError, Hybrid};
+
+/// Result of running an SpMM kernel on the simulator.
+#[derive(Debug, Clone)]
+pub struct SpmmRun {
+    /// The computed dense output `O = S · A` (real numerics, validated
+    /// against the sequential reference in tests).
+    pub output: Dense,
+    /// Profile of the execution launch.
+    pub report: LaunchReport,
+    /// Profile of the preprocessing launch, for kernels that need one
+    /// (Merge-path, Sputnik, ASpT, Huang's method). `None` for
+    /// preprocessing-free kernels like HP-SpMM — the property §II argues is
+    /// essential for dynamic GNN computing.
+    pub preprocess: Option<LaunchReport>,
+}
+
+impl SpmmRun {
+    /// Execution time in milliseconds (excludes preprocessing, matching the
+    /// paper's measurement convention for Fig. 9/10).
+    pub fn exec_ms(&self) -> f64 {
+        self.report.time_ms
+    }
+
+    /// Preprocessing time in milliseconds (0 when preprocessing-free).
+    pub fn preprocess_ms(&self) -> f64 {
+        self.preprocess.as_ref().map_or(0.0, |r| r.time_ms)
+    }
+}
+
+/// Result of running an SDDMM kernel on the simulator.
+#[derive(Debug, Clone)]
+pub struct SddmmRun {
+    /// Output values aligned with the input's element order:
+    /// `S_O = (A1 · A2) ⊙ S`.
+    pub output_values: Vec<f32>,
+    /// Profile of the execution launch.
+    pub report: LaunchReport,
+    /// Preprocessing profile, when the kernel requires one.
+    pub preprocess: Option<LaunchReport>,
+}
+
+impl SddmmRun {
+    /// Execution time in milliseconds.
+    pub fn exec_ms(&self) -> f64 {
+        self.report.time_ms
+    }
+}
+
+/// A simulated SpMM kernel: computes `O = S · A` with `S` in hybrid
+/// CSR/COO form (kernels that natively want CSR re-encode internally and
+/// account that as preprocessing or as part of execution, matching how the
+/// paper treats each baseline).
+pub trait SpmmKernel {
+    /// Kernel name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Runs on an existing simulator (persistent L2 across launches).
+    fn run_on(&self, sim: &mut GpuSim, s: &Hybrid, a: &Dense) -> Result<SpmmRun, FormatError>;
+
+    /// Convenience: runs on a fresh, cold-cache simulator for `device`.
+    fn run(&self, device: &DeviceSpec, s: &Hybrid, a: &Dense) -> Result<SpmmRun, FormatError> {
+        let mut sim = GpuSim::new(device.clone());
+        self.run_on(&mut sim, s, a)
+    }
+}
+
+/// A simulated SDDMM kernel: computes `S_O = (A1 · A2) ⊙ S`. `a1` is
+/// `M × K` and `a2t` is the *transposed* second operand (`N × K`
+/// row-major), the layout Algorithm 4 reads.
+pub trait SddmmKernel {
+    /// Kernel name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Runs on an existing simulator.
+    fn run_on(
+        &self,
+        sim: &mut GpuSim,
+        s: &Hybrid,
+        a1: &Dense,
+        a2t: &Dense,
+    ) -> Result<SddmmRun, FormatError>;
+
+    /// Convenience: runs on a fresh, cold-cache simulator for `device`.
+    fn run(
+        &self,
+        device: &DeviceSpec,
+        s: &Hybrid,
+        a1: &Dense,
+        a2t: &Dense,
+    ) -> Result<SddmmRun, FormatError> {
+        let mut sim = GpuSim::new(device.clone());
+        self.run_on(&mut sim, s, a1, a2t)
+    }
+}
+
+/// Validates SpMM operand shapes; shared by every kernel implementation.
+pub fn check_spmm_dims(s: &Hybrid, a: &Dense) -> Result<(), FormatError> {
+    if s.cols() != a.rows() {
+        return Err(FormatError::DimensionMismatch {
+            context: "spmm: S.cols != A.rows",
+        });
+    }
+    Ok(())
+}
+
+/// Validates SDDMM operand shapes (with `a2t` transposed).
+pub fn check_sddmm_dims(s: &Hybrid, a1: &Dense, a2t: &Dense) -> Result<(), FormatError> {
+    if a1.rows() != s.rows() {
+        return Err(FormatError::DimensionMismatch {
+            context: "sddmm: A1.rows != S.rows",
+        });
+    }
+    if a2t.rows() != s.cols() {
+        return Err(FormatError::DimensionMismatch {
+            context: "sddmm: A2T.rows != S.cols",
+        });
+    }
+    if a1.cols() != a2t.cols() {
+        return Err(FormatError::DimensionMismatch {
+            context: "sddmm: A1.cols != A2T.cols",
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dim_checks_accept_valid_shapes() {
+        let s = Hybrid::from_triplets(3, 4, &[(0, 1, 1.0)]).unwrap();
+        assert!(check_spmm_dims(&s, &Dense::zeros(4, 8)).is_ok());
+        assert!(check_spmm_dims(&s, &Dense::zeros(3, 8)).is_err());
+        assert!(check_sddmm_dims(&s, &Dense::zeros(3, 8), &Dense::zeros(4, 8)).is_ok());
+        assert!(check_sddmm_dims(&s, &Dense::zeros(4, 8), &Dense::zeros(4, 8)).is_err());
+        assert!(check_sddmm_dims(&s, &Dense::zeros(3, 8), &Dense::zeros(3, 8)).is_err());
+        assert!(check_sddmm_dims(&s, &Dense::zeros(3, 8), &Dense::zeros(4, 7)).is_err());
+    }
+}

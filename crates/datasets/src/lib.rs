@@ -1,0 +1,22 @@
+//! Synthetic datasets reproducing the paper's evaluation inputs.
+//!
+//! The paper evaluates on 19 public graphs (Table II) and on 838 subgraphs
+//! sampled from graph-sampling training runs. Neither the raw downloads nor
+//! the exact sampled subgraphs are available offline, so this crate
+//! generates *synthetic equivalents*: seeded random graphs whose node
+//! count, edge count, degree skew and community structure match the
+//! originals (scaled down for the giant graphs — see
+//! [`registry::DEFAULT_MAX_EDGES`]). Kernel performance depends on exactly
+//! these structural parameters, which is why the substitution preserves the
+//! paper's comparisons (DESIGN.md, substitution table).
+
+pub mod features;
+pub mod generators;
+pub mod registry;
+pub mod sampling;
+pub mod variance;
+
+pub use generators::{GeneratorConfig, Topology};
+pub use registry::{full_graph_dataset, DatasetSpec, Source, DEFAULT_MAX_EDGES};
+pub use sampling::{sampling_corpus, EdgeSampler, NodeSampler, RandomWalkSampler, Sampler};
+pub use variance::variance_family;

@@ -1,0 +1,27 @@
+//! Minimal GNN training substrate — the framework layer of Table V.
+//!
+//! The paper embeds its kernels into DGL and PyG and measures end-to-end
+//! training time. This crate is the equivalent substrate: dense linear
+//! algebra on rayon ([`linalg`]), a pluggable sparse backend that runs
+//! either the HP kernels or the cuSPARSE-style baselines on the simulator
+//! while accounting GPU time ([`backend`]), a GCN with manual reverse-mode
+//! backpropagation ([`gcn`]), a GAT-style attention layer exercising SDDMM
+//! ([`gat`]), and full-graph / GraphSAINT training loops ([`train`]).
+//!
+//! Numerics always run on the CPU (real training, loss really decreases);
+//! the backend simultaneously accounts the *simulated GPU cycles* each
+//! operation would cost, which is what the Table V comparison reports.
+
+pub mod backend;
+pub mod gat;
+pub mod gat_model;
+pub mod gcn;
+pub mod linalg;
+pub mod sage;
+pub mod train;
+
+pub use backend::{dense_gemm_cycles, BaselineBackend, CpuBackend, HpBackend, SparseBackend};
+pub use gat_model::{GatAdam, GatConfig, GatModel};
+pub use gcn::{Adam, Gcn, GcnConfig};
+pub use sage::{mean_operator, Sage, SageAdam, SageConfig};
+pub use train::{train_full_graph, train_graph_sampling, TrainConfig, TrainStats};

@@ -1,0 +1,427 @@
+//! GraphSAGE (Hamilton et al., NeurIPS'17) with the mean aggregator — one
+//! of the "ten representative GNN models" whose sampled subgraphs form the
+//! paper's graph-sampling dataset.
+//!
+//! Each layer computes `H' = σ(H·W_self + (S̄·H)·W_nbr + b)` where `S̄` is
+//! the row-mean-normalised adjacency: one SpMM forward and one transposed
+//! SpMM backward per layer, exactly like GCN, plus a second (dense) branch
+//! for the self features.
+
+use crate::backend::{dense_gemm_cycles, elementwise_cycles, SparseBackend, LAUNCH_OVERHEAD_CYCLES};
+use crate::gcn::Adam;
+use crate::linalg;
+use hpsparse_sparse::{Csr, Dense, FormatError, Graph, Hybrid};
+
+/// Model shape (mirrors [`crate::gcn::GcnConfig`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SageConfig {
+    /// Input feature dimension.
+    pub in_dim: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Number of layers.
+    pub layers: usize,
+    /// Output classes.
+    pub classes: usize,
+    /// Weight-init seed.
+    pub seed: u64,
+}
+
+/// GraphSAGE with mean aggregation.
+pub struct Sage {
+    /// Self-feature weights per layer.
+    pub w_self: Vec<Dense>,
+    /// Neighbour-aggregate weights per layer.
+    pub w_nbr: Vec<Dense>,
+    /// Biases per layer.
+    pub biases: Vec<Vec<f32>>,
+}
+
+/// Forward activations for backprop.
+pub struct SageCache {
+    inputs: Vec<Dense>,
+    aggregated: Vec<Dense>,
+    pre_activations: Vec<Dense>,
+}
+
+/// Gradients aligned with the model's parameters.
+pub struct SageGrads {
+    /// Self-weight gradients.
+    pub w_self: Vec<Dense>,
+    /// Neighbour-weight gradients.
+    pub w_nbr: Vec<Dense>,
+    /// Bias gradients.
+    pub biases: Vec<Vec<f32>>,
+}
+
+/// Builds the mean-normalised operator pair `(S̄, S̄ᵀ)`: each row of the
+/// adjacency divided by its degree (no self loops — GraphSAGE keeps the
+/// self branch separate).
+pub fn mean_operator(g: &Graph) -> Result<(Hybrid, Hybrid), FormatError> {
+    let adj = g.adjacency();
+    let triplets: Vec<(u32, u32, f32)> = (0..adj.rows())
+        .flat_map(|r| {
+            let len = adj.row_len(r).max(1) as f32;
+            adj.row_range(r).map(move |e| (r as u32, e, len))
+        })
+        .zip(adj.col_indices().iter().zip(adj.values()))
+        .map(|((r, _e, len), (&c, &v))| (r, c, v / len))
+        .collect();
+    let norm = Csr::from_triplets(adj.rows(), adj.cols(), &triplets)?;
+    Ok((norm.to_hybrid(), norm.transpose().to_hybrid()))
+}
+
+impl Sage {
+    /// Glorot-style deterministic initialisation.
+    pub fn new(config: SageConfig) -> Self {
+        assert!(config.layers >= 1);
+        let mut state = config.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut w_self = Vec::new();
+        let mut w_nbr = Vec::new();
+        let mut biases = Vec::new();
+        for l in 0..config.layers {
+            let fan_in = if l == 0 { config.in_dim } else { config.hidden };
+            let fan_out = if l == config.layers - 1 {
+                config.classes
+            } else {
+                config.hidden
+            };
+            let limit = (6.0 / (fan_in + fan_out) as f64).sqrt();
+            let mut init = |_: usize, _: usize| ((next() * 2.0 - 1.0) * limit) as f32;
+            w_self.push(Dense::from_fn(fan_in, fan_out, &mut init));
+            w_nbr.push(Dense::from_fn(fan_in, fan_out, &mut init));
+            biases.push(vec![0f32; fan_out]);
+        }
+        Self {
+            w_self,
+            w_nbr,
+            biases,
+        }
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.w_self.len()
+    }
+
+    /// Forward pass over the mean-normalised operator.
+    pub fn forward(
+        &self,
+        backend: &mut dyn SparseBackend,
+        s_mean: &Hybrid,
+        x: &Dense,
+    ) -> (Dense, SageCache) {
+        let device = backend.device().clone();
+        let layers = self.num_layers();
+        let mut inputs = Vec::with_capacity(layers);
+        let mut aggregated = Vec::with_capacity(layers);
+        let mut pre_activations = Vec::with_capacity(layers);
+        let mut h = x.clone();
+        for l in 0..layers {
+            inputs.push(h.clone());
+            let z = backend.spmm(s_mean, &h);
+            for w in [&self.w_self[l], &self.w_nbr[l]] {
+                backend.account_dense(
+                    dense_gemm_cycles(&device, h.rows(), h.cols(), w.cols())
+                        + LAUNCH_OVERHEAD_CYCLES,
+                );
+            }
+            let mut y = linalg::matmul(&h, &self.w_self[l]);
+            let y_nbr = linalg::matmul(&z, &self.w_nbr[l]);
+            for (a, b) in y.data_mut().iter_mut().zip(y_nbr.data()) {
+                *a += b;
+            }
+            linalg::add_bias(&mut y, &self.biases[l]);
+            aggregated.push(z);
+            pre_activations.push(y.clone());
+            if l + 1 < layers {
+                backend.account_dense(
+                    elementwise_cycles(&device, y.rows() * y.cols()) + LAUNCH_OVERHEAD_CYCLES,
+                );
+                linalg::relu(&mut y);
+            }
+            h = y;
+        }
+        (
+            h,
+            SageCache {
+                inputs,
+                aggregated,
+                pre_activations,
+            },
+        )
+    }
+
+    /// Backward pass (mirrors the forward's two branches).
+    pub fn backward(
+        &self,
+        backend: &mut dyn SparseBackend,
+        s_mean_t: &Hybrid,
+        cache: &SageCache,
+        grad_logits: Dense,
+    ) -> SageGrads {
+        let device = backend.device().clone();
+        let layers = self.num_layers();
+        let mut gs: Vec<Option<Dense>> = (0..layers).map(|_| None).collect();
+        let mut gn: Vec<Option<Dense>> = (0..layers).map(|_| None).collect();
+        let mut gb: Vec<Option<Vec<f32>>> = (0..layers).map(|_| None).collect();
+        let mut d_y = grad_logits;
+        for l in (0..layers).rev() {
+            let h = &cache.inputs[l];
+            let z = &cache.aggregated[l];
+            backend.account_dense(
+                dense_gemm_cycles(&device, h.cols(), h.rows(), d_y.cols())
+                    + LAUNCH_OVERHEAD_CYCLES,
+            );
+            gs[l] = Some(linalg::matmul_transpose_a(h, &d_y));
+            gn[l] = Some(linalg::matmul_transpose_a(z, &d_y));
+            gb[l] = Some(linalg::column_sums(&d_y));
+            if l == 0 {
+                break;
+            }
+            // dH = dY·W_selfᵀ + S̄ᵀ·(dY·W_nbrᵀ)
+            backend.account_dense(
+                dense_gemm_cycles(&device, d_y.rows(), d_y.cols(), self.w_self[l].rows())
+                    + LAUNCH_OVERHEAD_CYCLES,
+            );
+            let mut d_h = linalg::matmul_transpose_b(&d_y, &self.w_self[l]);
+            let d_z = linalg::matmul_transpose_b(&d_y, &self.w_nbr[l]);
+            let d_agg = backend.spmm(s_mean_t, &d_z);
+            for (a, b) in d_h.data_mut().iter_mut().zip(d_agg.data()) {
+                *a += b;
+            }
+            linalg::relu_backward(&mut d_h, &cache.pre_activations[l - 1]);
+            d_y = d_h;
+        }
+        SageGrads {
+            w_self: gs.into_iter().map(Option::unwrap).collect(),
+            w_nbr: gn.into_iter().map(Option::unwrap).collect(),
+            biases: gb.into_iter().map(Option::unwrap).collect(),
+        }
+    }
+}
+
+/// Adam optimiser over a GraphSAGE model, built on the same update rule as
+/// [`crate::gcn::Adam`].
+pub struct SageAdam {
+    lr: f32,
+    t: i32,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl SageAdam {
+    /// Builds optimiser state shaped after `model`.
+    pub fn new(model: &Sage, lr: f32) -> Self {
+        let mut sizes = Vec::new();
+        for w in model.w_self.iter().chain(&model.w_nbr) {
+            sizes.push(w.data().len());
+        }
+        for b in &model.biases {
+            sizes.push(b.len());
+        }
+        Self {
+            lr,
+            t: 0,
+            m: sizes.iter().map(|&n| vec![0.0; n]).collect(),
+            v: sizes.iter().map(|&n| vec![0.0; n]).collect(),
+        }
+    }
+
+    /// Applies one update.
+    pub fn step(&mut self, model: &mut Sage, grads: &SageGrads) {
+        self.t += 1;
+        let (b1, b2, eps) = (0.9f32, 0.999f32, 1e-8f32);
+        let bc1 = 1.0 - b1.powi(self.t);
+        let bc2 = 1.0 - b2.powi(self.t);
+        let layers = model.w_self.len();
+        let mut slot = 0;
+        for l in 0..layers {
+            Adam::update(
+                model.w_self[l].data_mut(),
+                grads.w_self[l].data(),
+                &mut self.m[slot],
+                &mut self.v[slot],
+                self.lr,
+                b1,
+                b2,
+                eps,
+                bc1,
+                bc2,
+            );
+            slot += 1;
+        }
+        for l in 0..layers {
+            Adam::update(
+                model.w_nbr[l].data_mut(),
+                grads.w_nbr[l].data(),
+                &mut self.m[slot],
+                &mut self.v[slot],
+                self.lr,
+                b1,
+                b2,
+                eps,
+                bc1,
+                bc2,
+            );
+            slot += 1;
+        }
+        for l in 0..layers {
+            Adam::update(
+                &mut model.biases[l],
+                &grads.biases[l],
+                &mut self.m[slot],
+                &mut self.v[slot],
+                self.lr,
+                b1,
+                b2,
+                eps,
+                bc1,
+                bc2,
+            );
+            slot += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::CpuBackend;
+    use hpsparse_sparse::Graph;
+
+    fn ring(n: usize) -> Graph {
+        let edges: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|i| {
+                let nxt = (i + 1) % n as u32;
+                [(i, nxt), (nxt, i)]
+            })
+            .collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn mean_operator_rows_sum_to_one() {
+        let g = ring(8);
+        let (s, st) = mean_operator(&g).unwrap();
+        let mut sums = [0f32; 8];
+        for (r, _c, v) in s.iter() {
+            sums[r as usize] += v;
+        }
+        for (r, &sum) in sums.iter().enumerate() {
+            assert!((sum - 1.0).abs() < 1e-6, "row {r} sums {sum}");
+        }
+        assert_eq!(s.nnz(), st.nnz());
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let g = ring(10);
+        let (s, _) = mean_operator(&g).unwrap();
+        let model = Sage::new(SageConfig {
+            in_dim: 6,
+            hidden: 12,
+            layers: 2,
+            classes: 3,
+            seed: 1,
+        });
+        let x = Dense::from_fn(10, 6, |i, j| ((i + j) as f32 * 0.1).sin());
+        let mut backend = CpuBackend::new();
+        let (logits, cache) = model.forward(&mut backend, &s, &x);
+        assert_eq!(logits.rows(), 10);
+        assert_eq!(logits.cols(), 3);
+        assert_eq!(cache.aggregated.len(), 2);
+    }
+
+    #[test]
+    fn gradient_check_both_branches() {
+        let g = ring(6);
+        let (s, st) = mean_operator(&g).unwrap();
+        let x = Dense::from_fn(6, 4, |i, j| ((i * 4 + j) as f32 * 0.3).cos());
+        let labels = [0u32, 1, 0, 1, 0, 1];
+        let mut model = Sage::new(SageConfig {
+            in_dim: 4,
+            hidden: 5,
+            layers: 2,
+            classes: 2,
+            seed: 9,
+        });
+        let mut backend = CpuBackend::new();
+        let (logits, cache) = model.forward(&mut backend, &s, &x);
+        let (_, grad_logits) = linalg::softmax_cross_entropy(&logits, &labels);
+        let grads = model.backward(&mut backend, &st, &cache, grad_logits);
+        let eps = 1e-2f32;
+        // Spot check a few parameters in each branch of layer 0.
+        for idx in [0usize, 5, 11] {
+            for branch in 0..2 {
+                let orig = if branch == 0 {
+                    model.w_self[0].data()[idx]
+                } else {
+                    model.w_nbr[0].data()[idx]
+                };
+                let set = |m: &mut Sage, v: f32| {
+                    if branch == 0 {
+                        m.w_self[0].data_mut()[idx] = v;
+                    } else {
+                        m.w_nbr[0].data_mut()[idx] = v;
+                    }
+                };
+                set(&mut model, orig + eps);
+                let (lg, _) = model.forward(&mut backend, &s, &x);
+                let (lp, _) = linalg::softmax_cross_entropy(&lg, &labels);
+                set(&mut model, orig - eps);
+                let (lg, _) = model.forward(&mut backend, &s, &x);
+                let (lm, _) = linalg::softmax_cross_entropy(&lg, &labels);
+                set(&mut model, orig);
+                let numeric = (lp - lm) / (2.0 * eps);
+                let analytic = if branch == 0 {
+                    grads.w_self[0].data()[idx]
+                } else {
+                    grads.w_nbr[0].data()[idx]
+                };
+                assert!(
+                    (numeric - analytic).abs() < 5e-2,
+                    "branch {branch} idx {idx}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adam_reduces_loss() {
+        let g = ring(12);
+        let (s, st) = mean_operator(&g).unwrap();
+        let x = Dense::from_fn(12, 6, |i, j| ((i * 6 + j) as f32 * 0.27).sin());
+        let labels: Vec<u32> = (0..12).map(|i| u32::from(i >= 6)).collect();
+        let mut model = Sage::new(SageConfig {
+            in_dim: 6,
+            hidden: 10,
+            layers: 2,
+            classes: 2,
+            seed: 4,
+        });
+        let mut opt = SageAdam::new(&model, 0.05);
+        let mut backend = CpuBackend::new();
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..60 {
+            let (logits, cache) = model.forward(&mut backend, &s, &x);
+            let (loss, grad) = linalg::softmax_cross_entropy(&logits, &labels);
+            let grads = model.backward(&mut backend, &st, &cache, grad);
+            opt.step(&mut model, &grads);
+            first.get_or_insert(loss);
+            last = loss;
+        }
+        assert!(
+            last < first.unwrap() * 0.6,
+            "loss {:?} -> {last}",
+            first.unwrap()
+        );
+    }
+}

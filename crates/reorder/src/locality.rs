@@ -1,0 +1,84 @@
+//! Locality metrics for comparing graph orderings.
+
+use hpsparse_sparse::Graph;
+
+/// Mean absolute index distance between each node and its neighbours —
+/// small values mean a warp touching consecutive rows loads feature rows
+/// that sit close together (and therefore share L2 sectors).
+pub fn avg_neighbor_distance(g: &Graph) -> f64 {
+    let mut sum = 0f64;
+    let mut count = 0u64;
+    for v in 0..g.num_nodes() {
+        for &u in g.neighbors(v) {
+            sum += (v as f64 - u as f64).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+/// Mean per-node neighbour spread: the index range (max − min) of each
+/// node's neighbour list. Captures how many distinct cache regions one
+/// row's gather touches.
+pub fn working_set_spread(g: &Graph) -> f64 {
+    let mut sum = 0f64;
+    let mut rows = 0u64;
+    for v in 0..g.num_nodes() {
+        let nbrs = g.neighbors(v);
+        if nbrs.len() < 2 {
+            continue;
+        }
+        let min = *nbrs.iter().min().unwrap() as f64;
+        let max = *nbrs.iter().max().unwrap() as f64;
+        sum += max - min;
+        rows += 1;
+    }
+    if rows == 0 {
+        0.0
+    } else {
+        sum / rows as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_has_unit_distance() {
+        let n = 10u32;
+        let edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let g = Graph::from_edges(n as usize, &edges);
+        // All distances 1 except the wraparound edge (distance 9).
+        let d = avg_neighbor_distance(&g);
+        assert!((d - (9.0 + 9.0) / 10.0).abs() < 1e-9, "d = {d}");
+    }
+
+    #[test]
+    fn scattered_graph_has_larger_distance_than_banded() {
+        let banded: Vec<(u32, u32)> = (0..99u32).map(|i| (i, i + 1)).collect();
+        let scattered: Vec<(u32, u32)> = (0..99u32).map(|i| (i, (i * 53) % 100)).collect();
+        let gb = Graph::from_edges(100, &banded);
+        let gs = Graph::from_edges(100, &scattered);
+        assert!(avg_neighbor_distance(&gs) > 4.0 * avg_neighbor_distance(&gb));
+    }
+
+    #[test]
+    fn spread_ignores_degree_one_rows() {
+        let g = Graph::from_edges(5, &[(0, 4)]);
+        assert_eq!(working_set_spread(&g), 0.0);
+        let g2 = Graph::from_edges(5, &[(0, 1), (0, 4)]);
+        assert_eq!(working_set_spread(&g2), 3.0);
+    }
+
+    #[test]
+    fn empty_graph_metrics_are_zero() {
+        let g = Graph::from_edges(3, &[]);
+        assert_eq!(avg_neighbor_distance(&g), 0.0);
+        assert_eq!(working_set_spread(&g), 0.0);
+    }
+}

@@ -1,0 +1,402 @@
+//! Kernel launch scheduling: blocks → waves → SMs → warps.
+//!
+//! The scheduler reproduces the execution-shape the paper reasons about in
+//! §III-B1 (Fig. 6): a launch of `B` blocks at occupancy `A` blocks/SM runs
+//! as `ceil(B / (NumSM·A))` waves; each wave costs as long as its slowest
+//! SM, and an SM costs as long as its slowest block or its aggregate warp
+//! throughput, whichever dominates. A partial final wave therefore wastes
+//! the idle SMs — the tail effect.
+
+use crate::cache::SectorCache;
+use crate::device::DeviceSpec;
+use crate::memory::MemorySpace;
+use crate::occupancy::{occupancy_of, tail_utilization, waves, KernelResources};
+use crate::tally::{WarpCounters, WarpTally};
+
+/// Launch geometry: total warps and the per-block resources that determine
+/// occupancy via Eq. 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Total warps of work (the scheduler packs them into blocks).
+    pub num_warps: u64,
+    /// Per-block resource usage.
+    pub resources: KernelResources,
+}
+
+/// Everything a launch reports — the simulator's analogue of an Nsight
+/// Compute profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchReport {
+    /// Modelled execution time in SM cycles.
+    pub cycles: u64,
+    /// Modelled execution time in milliseconds at the device clock.
+    pub time_ms: f64,
+    /// Thread blocks launched.
+    pub blocks: u64,
+    /// Warps launched.
+    pub warps: u64,
+    /// Waves needed (Eq. 4).
+    pub num_waves: u64,
+    /// `FullWaveSize` (Eq. 4).
+    pub full_wave_size: u64,
+    /// `ActiveblocksPerSM` (Eq. 3).
+    pub active_blocks_per_sm: u32,
+    /// Resident-warp occupancy at full residency.
+    pub warp_occupancy: f64,
+    /// Utilisation of the final wave (1.0 = no tail effect).
+    pub tail_utilization: f64,
+    /// Aggregate event counters over all warps.
+    pub totals: WarpCounters,
+    /// L2 hit rate over this launch's global traffic.
+    pub l2_hit_rate: f64,
+    /// Cycles of the slowest warp (load-imbalance witness).
+    pub max_warp_cycles: f64,
+    /// Mean warp cycles.
+    pub mean_warp_cycles: f64,
+    /// Cycles if the kernel were purely DRAM-bandwidth-bound.
+    pub dram_bound_cycles: u64,
+    /// Cycles from the SM/wave schedule alone.
+    pub schedule_cycles: u64,
+}
+
+impl LaunchReport {
+    /// Load imbalance factor: slowest warp over mean warp (1.0 = balanced).
+    pub fn imbalance(&self) -> f64 {
+        if self.mean_warp_cycles > 0.0 {
+            self.max_warp_cycles / self.mean_warp_cycles
+        } else {
+            1.0
+        }
+    }
+
+    /// Achieved bandwidth in bytes per cycle.
+    pub fn achieved_bytes_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.totals.global_bytes as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// The simulated GPU: a device spec plus mutable L2 state that persists
+/// across launches (reset it for cold-cache measurements).
+pub struct GpuSim {
+    device: DeviceSpec,
+    l2: SectorCache,
+    memory: MemorySpace,
+}
+
+impl GpuSim {
+    /// Builds a simulator for `device` with a cold L2.
+    pub fn new(device: DeviceSpec) -> Self {
+        let l2 = SectorCache::new(device.l2_bytes, device.l2_assoc);
+        Self {
+            device,
+            l2,
+            memory: MemorySpace::new(),
+        }
+    }
+
+    /// The device being simulated.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// Allocates logical device memory (256-byte aligned).
+    pub fn alloc_elems(&mut self, n: usize) -> crate::memory::Buffer {
+        self.memory.alloc_elems(n)
+    }
+
+    /// Clears L2 contents and statistics (cold-cache start).
+    pub fn reset_cache(&mut self) {
+        self.l2.reset();
+    }
+
+    /// Current L2 hit rate since the last reset.
+    pub fn l2_hit_rate(&self) -> f64 {
+        self.l2.hit_rate()
+    }
+
+    /// Runs a kernel: `body(warp_id, tally)` is invoked once per warp, in
+    /// block-scheduling order, and must record the warp's events on the
+    /// tally. Returns the profile of the launch.
+    pub fn launch<F>(&mut self, config: LaunchConfig, mut body: F) -> LaunchReport
+    where
+        F: FnMut(u64, &mut WarpTally),
+    {
+        let res = config.resources;
+        let occ = occupancy_of(&self.device, &res);
+        let wpb = res.warps_per_block as u64;
+        let blocks = config.num_warps.div_ceil(wpb.max(1));
+        let num_waves = waves(blocks, occ.full_wave_size);
+        let tail = tail_utilization(blocks, occ.full_wave_size);
+        let cost = self.device.cost;
+        let num_sms = self.device.num_sms as usize;
+
+        let mut totals = WarpCounters::default();
+        let mut max_warp_cycles = 0f64;
+        let mut sum_warp_cycles = 0f64;
+        let mut schedule_cycles = 0f64;
+
+        let mut warp_id: u64 = 0;
+        let mut block_id: u64 = 0;
+        for _wave in 0..num_waves {
+            // Per-SM accounting for this wave.
+            let mut sm_sum = vec![0f64; num_sms];
+            let mut sm_max_block = vec![0f64; num_sms];
+            let blocks_this_wave =
+                occ.full_wave_size.min(blocks - block_id);
+            for slot in 0..blocks_this_wave {
+                let sm = (slot as usize) % num_sms;
+                let mut block_max = 0f64;
+                let warps_in_block = wpb.min(config.num_warps - warp_id);
+                for _ in 0..warps_in_block {
+                    let mut tally = WarpTally::new(&mut self.l2, self.device.warp_size);
+                    body(warp_id, &mut tally);
+                    let counters = tally.finish();
+                    let wc = counters.cycles(&cost);
+                    totals.add(&counters);
+                    sum_warp_cycles += wc;
+                    max_warp_cycles = max_warp_cycles.max(wc);
+                    block_max = block_max.max(wc);
+                    warp_id += 1;
+                }
+                sm_sum[sm] += block_max * warps_in_block as f64;
+                sm_max_block[sm] = sm_max_block[sm].max(block_max);
+            }
+            block_id += blocks_this_wave;
+            // An SM finishes when its slowest block does, or when its
+            // aggregate warp-cycles drain through the SMT pipeline,
+            // whichever is later. The pipeline's effective width depends on
+            // how many warps are resident to hide latency: it saturates at
+            // 50% occupancy (typical for memory-bound kernels) and
+            // degrades below that — the register-scarcity effect of the
+            // paper's §IV-F.
+            let occ_factor = (occ.warp_occupancy * 2.0).clamp(0.05, 1.0);
+            let effective_width = cost.smt_width * occ_factor;
+            let wave_time = (0..num_sms)
+                .map(|sm| sm_max_block[sm].max(sm_sum[sm] / effective_width))
+                .fold(0f64, f64::max);
+            schedule_cycles += wave_time;
+        }
+
+        // Saturating HBM needs enough warps in flight to keep loads
+        // outstanding; below ~50% occupancy the achievable bandwidth
+        // degrades proportionally (the flip side of the same
+        // latency-hiding limit that throttles the SM pipeline).
+        let occ_factor = (occ.warp_occupancy * 2.0).clamp(0.05, 1.0);
+        // Only L2 misses consume HBM bandwidth; hits are served on chip.
+        let dram_bytes = totals.dram_sectors * crate::memory::SECTOR_BYTES as u64;
+        let dram_bound =
+            dram_bytes as f64 / (self.device.dram_bytes_per_cycle * occ_factor);
+        // No kernel completes faster than the pipeline fill/drain floor
+        // (~1.5 µs): microscopic launches — tiny sampled subgraphs — are
+        // floor-bound on every kernel alike.
+        const KERNEL_FLOOR_CYCLES: f64 = 2_000.0;
+        let floor = if config.num_warps > 0 {
+            KERNEL_FLOOR_CYCLES
+        } else {
+            0.0
+        };
+        let cycles = schedule_cycles.max(dram_bound).max(floor).ceil() as u64;
+        let traffic = totals.l2_hit_sectors + totals.dram_sectors;
+        LaunchReport {
+            cycles,
+            time_ms: self.device.cycles_to_ms(cycles),
+            blocks,
+            warps: config.num_warps,
+            num_waves,
+            full_wave_size: occ.full_wave_size,
+            active_blocks_per_sm: occ.active_blocks_per_sm,
+            warp_occupancy: occ.warp_occupancy,
+            tail_utilization: tail,
+            totals,
+            l2_hit_rate: if traffic == 0 {
+                0.0
+            } else {
+                totals.l2_hit_sectors as f64 / traffic as f64
+            },
+            max_warp_cycles,
+            mean_warp_cycles: if config.num_warps == 0 {
+                0.0
+            } else {
+                sum_warp_cycles / config.num_warps as f64
+            },
+            dram_bound_cycles: dram_bound.ceil() as u64,
+            schedule_cycles: schedule_cycles.ceil() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_res() -> KernelResources {
+        KernelResources {
+            warps_per_block: 8,
+            registers_per_thread: 32,
+            shared_mem_per_block: 4096,
+        }
+    }
+
+    #[test]
+    fn empty_launch_is_free() {
+        let mut sim = GpuSim::new(DeviceSpec::v100());
+        let report = sim.launch(
+            LaunchConfig {
+                num_warps: 0,
+                resources: small_res(),
+            },
+            |_, _| {},
+        );
+        assert_eq!(report.cycles, 0);
+        assert_eq!(report.blocks, 0);
+        assert_eq!(report.num_waves, 0);
+    }
+
+    #[test]
+    fn uniform_work_scales_with_waves() {
+        let mut sim = GpuSim::new(DeviceSpec::v100());
+        let res = small_res();
+        let run = |sim: &mut GpuSim, warps: u64| {
+            sim.launch(
+                LaunchConfig {
+                    num_warps: warps,
+                    resources: res,
+                },
+                |_, t| t.compute(20_000),
+            )
+        };
+        let occ = occupancy_of(sim.device(), &res);
+        let warps_per_wave = occ.full_wave_size * 8;
+        let one = run(&mut sim, warps_per_wave);
+        let two = run(&mut sim, warps_per_wave * 2);
+        assert_eq!(one.num_waves, 1);
+        assert_eq!(two.num_waves, 2);
+        assert_eq!(two.cycles, one.cycles * 2);
+    }
+
+    #[test]
+    fn tail_effect_costs_a_full_wave() {
+        let mut sim = GpuSim::new(DeviceSpec::v100());
+        let res = small_res();
+        let occ = occupancy_of(sim.device(), &res);
+        let warps_per_wave = occ.full_wave_size * 8;
+        let full = sim.launch(
+            LaunchConfig {
+                num_warps: warps_per_wave,
+                resources: res,
+            },
+            |_, t| t.compute(20_000),
+        );
+        // One extra block spills into a second, nearly-empty wave: the
+        // launch pays extra cycles while adding only 1/640th more work.
+        let spill = sim.launch(
+            LaunchConfig {
+                num_warps: warps_per_wave + 8,
+                resources: res,
+            },
+            |_, t| t.compute(20_000),
+        );
+        assert_eq!(spill.num_waves, 2);
+        assert!(spill.cycles > full.cycles);
+        // The marginal cost of the spilled block far exceeds its share of
+        // the work (tail effect): one block is 1/640 of a wave but costs a
+        // full block-latency wave.
+        let marginal = spill.cycles - full.cycles;
+        assert!(marginal as f64 > full.cycles as f64 / 640.0 * 10.0);
+        assert!(spill.tail_utilization < 0.01);
+    }
+
+    #[test]
+    fn imbalanced_warp_dominates_block() {
+        let mut sim = GpuSim::new(DeviceSpec::v100());
+        let res = small_res();
+        let balanced = sim.launch(
+            LaunchConfig {
+                num_warps: 64,
+                resources: res,
+            },
+            |_, t| t.compute(20_000),
+        );
+        let imbalanced = sim.launch(
+            LaunchConfig {
+                num_warps: 64,
+                resources: res,
+            },
+            |w, t| t.compute(if w == 0 { 1_280_000 } else { 0 }),
+        );
+        // Same total work, radically different times.
+        assert!(imbalanced.cycles > balanced.cycles * 4);
+        assert!(imbalanced.imbalance() > 10.0);
+        assert!(balanced.imbalance() < 1.5);
+    }
+
+    #[test]
+    fn dram_roofline_kicks_in_for_streaming_kernels() {
+        let mut sim = GpuSim::new(DeviceSpec::v100());
+        let res = small_res();
+        let mut next = 0u64;
+        let report = sim.launch(
+            LaunchConfig {
+                num_warps: 10_000,
+                resources: res,
+            },
+            |_, t| {
+                // Each warp streams 4 KiB of never-reused data.
+                t.global_read(next, 4096, 4);
+                next += 4096;
+            },
+        );
+        assert!(report.totals.dram_sectors > 0);
+        assert!(report.dram_bound_cycles > 0);
+        assert!(report.cycles >= report.dram_bound_cycles);
+    }
+
+    #[test]
+    fn cache_reuse_between_warps_is_visible() {
+        let mut sim = GpuSim::new(DeviceSpec::v100());
+        let res = small_res();
+        let report = sim.launch(
+            LaunchConfig {
+                num_warps: 1000,
+                resources: res,
+            },
+            |_, t| t.global_read(0, 4096, 4), // all warps read the same 4 KiB
+        );
+        assert!(report.l2_hit_rate > 0.99);
+        let cold = report.totals.dram_sectors;
+        assert_eq!(cold, 128); // 4096 / 32 fetched exactly once
+    }
+
+    #[test]
+    fn report_time_matches_clock() {
+        let mut sim = GpuSim::new(DeviceSpec::v100());
+        let report = sim.launch(
+            LaunchConfig {
+                num_warps: 8,
+                resources: small_res(),
+            },
+            |_, t| t.compute(1380),
+        );
+        assert!((report.time_ms - sim.device().cycles_to_ms(report.cycles)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_cache_makes_reruns_cold() {
+        let mut sim = GpuSim::new(DeviceSpec::v100());
+        let res = small_res();
+        let cfg = LaunchConfig {
+            num_warps: 8,
+            resources: res,
+        };
+        let first = sim.launch(cfg, |_, t| t.global_read(0, 4096, 4));
+        let warm = sim.launch(cfg, |_, t| t.global_read(0, 4096, 4));
+        sim.reset_cache();
+        let cold = sim.launch(cfg, |_, t| t.global_read(0, 4096, 4));
+        assert!(warm.totals.dram_sectors < first.totals.dram_sectors.max(1));
+        assert_eq!(cold.totals.dram_sectors, first.totals.dram_sectors);
+    }
+}

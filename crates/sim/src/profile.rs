@@ -1,0 +1,90 @@
+//! Human-readable kernel profiles — the simulator's answer to an Nsight
+//! Compute summary page.
+
+use crate::launch::LaunchReport;
+
+/// Renders a launch report as a multi-line profile block.
+pub fn render(kernel: &str, report: &LaunchReport) -> String {
+    let t = &report.totals;
+    let traffic = t.l2_hit_sectors + t.dram_sectors;
+    let mut out = String::new();
+    out.push_str(&format!("kernel       : {kernel}\n"));
+    out.push_str(&format!(
+        "duration     : {:.4} ms ({} cycles)\n",
+        report.time_ms, report.cycles
+    ));
+    out.push_str(&format!(
+        "bound by     : {}\n",
+        if report.dram_bound_cycles >= report.schedule_cycles {
+            "DRAM bandwidth"
+        } else {
+            "SM schedule"
+        }
+    ));
+    out.push_str(&format!(
+        "grid         : {} blocks / {} warps in {} wave(s) (full wave = {})\n",
+        report.blocks, report.warps, report.num_waves, report.full_wave_size
+    ));
+    out.push_str(&format!(
+        "occupancy    : {:.0}% warp slots, {} blocks/SM, tail utilisation {:.0}%\n",
+        report.warp_occupancy * 100.0,
+        report.active_blocks_per_sm,
+        report.tail_utilization * 100.0
+    ));
+    out.push_str(&format!(
+        "balance      : slowest warp {:.0} cyc vs mean {:.0} cyc (imbalance {:.2}x)\n",
+        report.max_warp_cycles,
+        report.mean_warp_cycles,
+        report.imbalance()
+    ));
+    out.push_str(&format!(
+        "instructions : {} issued, {} shared ops, {} atomics, {} shuffles\n",
+        t.instructions, t.shared_ops, t.atomics, t.shuffles
+    ));
+    out.push_str(&format!(
+        "memory       : {:.1} MB moved, {} transactions, L2 hit rate {:.1}%\n",
+        t.global_bytes as f64 / 1e6,
+        traffic,
+        report.l2_hit_rate * 100.0
+    ));
+    out.push_str(&format!(
+        "bandwidth    : {:.0} bytes/cycle achieved\n",
+        report.achieved_bytes_per_cycle()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+    use crate::launch::{GpuSim, LaunchConfig};
+    use crate::occupancy::KernelResources;
+
+    #[test]
+    fn profile_contains_all_sections() {
+        let mut sim = GpuSim::new(DeviceSpec::v100());
+        let report = sim.launch(
+            LaunchConfig {
+                num_warps: 64,
+                resources: KernelResources {
+                    warps_per_block: 8,
+                    registers_per_thread: 32,
+                    shared_mem_per_block: 0,
+                },
+            },
+            |_, t| {
+                t.compute(100);
+                t.global_read(0, 256, 2);
+            },
+        );
+        let text = render("test-kernel", &report);
+        for section in [
+            "kernel", "duration", "bound by", "grid", "occupancy", "balance",
+            "instructions", "memory", "bandwidth",
+        ] {
+            assert!(text.contains(section), "missing {section}:\n{text}");
+        }
+        assert!(text.contains("test-kernel"));
+    }
+}

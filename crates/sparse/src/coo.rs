@@ -1,0 +1,194 @@
+//! Coordinate (COO) format (Fig. 2(c) of the paper).
+
+use crate::csr::Csr;
+use crate::error::FormatError;
+
+/// A sparse matrix in COO form: parallel `row_indices`, `col_indices` and
+/// `values` arrays, in no particular order.
+///
+/// COO is the simplest format and is what graph samplers naturally emit;
+/// sorting it into CSR element order produces the paper's hybrid CSR/COO
+/// format ([`Hybrid`](crate::Hybrid)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coo {
+    rows: usize,
+    cols: usize,
+    row_indices: Vec<u32>,
+    col_indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl Coo {
+    /// Builds a COO matrix, validating bounds and array lengths.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        row_indices: Vec<u32>,
+        col_indices: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Result<Self, FormatError> {
+        if row_indices.len() != col_indices.len() {
+            return Err(FormatError::ArrayLengthMismatch {
+                indices: row_indices.len(),
+                values: col_indices.len(),
+            });
+        }
+        if row_indices.len() != values.len() {
+            return Err(FormatError::ArrayLengthMismatch {
+                indices: row_indices.len(),
+                values: values.len(),
+            });
+        }
+        for (i, &r) in row_indices.iter().enumerate() {
+            if r as usize >= rows {
+                return Err(FormatError::RowOutOfBounds {
+                    index: i,
+                    row: r,
+                    rows,
+                });
+            }
+        }
+        for (i, &c) in col_indices.iter().enumerate() {
+            if c as usize >= cols {
+                return Err(FormatError::ColumnOutOfBounds {
+                    index: i,
+                    col: c,
+                    cols,
+                });
+            }
+        }
+        Ok(Self {
+            rows,
+            cols,
+            row_indices,
+            col_indices,
+            values,
+        })
+    }
+
+    /// Number of rows `M`.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns `N`.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored elements `NNZ`.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Row index of each stored element.
+    #[inline]
+    pub fn row_indices(&self) -> &[u32] {
+        &self.row_indices
+    }
+
+    /// Column index of each stored element.
+    #[inline]
+    pub fn col_indices(&self) -> &[u32] {
+        &self.col_indices
+    }
+
+    /// Stored element values.
+    #[inline]
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Whether elements are already in CSR order (row-major, columns
+    /// ascending within a row).
+    pub fn is_csr_sorted(&self) -> bool {
+        self.row_indices
+            .windows(2)
+            .zip(self.col_indices.windows(2))
+            .all(|(r, c)| r[0] < r[1] || (r[0] == r[1] && c[0] <= c[1]))
+    }
+
+    /// Converts into CSR, sorting elements as needed.
+    pub fn to_csr(&self) -> Csr {
+        let triplets: Vec<(u32, u32, f32)> = self
+            .row_indices
+            .iter()
+            .zip(&self.col_indices)
+            .zip(&self.values)
+            .map(|((&r, &c), &v)| (r, c, v))
+            .collect();
+        Csr::from_triplets(self.rows, self.cols, &triplets)
+            .expect("COO invariants guarantee valid CSR")
+    }
+
+    /// Iterator over `(row, col, value)` triplets in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, f32)> + '_ {
+        self.row_indices
+            .iter()
+            .zip(&self.col_indices)
+            .zip(&self.values)
+            .map(|((&r, &c), &v)| (r, c, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_everything() {
+        assert!(matches!(
+            Coo::new(2, 2, vec![0, 1], vec![0], vec![1.0, 2.0]).unwrap_err(),
+            FormatError::ArrayLengthMismatch { .. }
+        ));
+        assert!(matches!(
+            Coo::new(2, 2, vec![0, 2], vec![0, 1], vec![1.0, 2.0]).unwrap_err(),
+            FormatError::RowOutOfBounds { .. }
+        ));
+        assert!(matches!(
+            Coo::new(2, 2, vec![0, 1], vec![0, 2], vec![1.0, 2.0]).unwrap_err(),
+            FormatError::ColumnOutOfBounds { .. }
+        ));
+    }
+
+    #[test]
+    fn csr_roundtrip_preserves_triplets() {
+        let coo = Coo::new(
+            3,
+            4,
+            vec![2, 0, 1, 2],
+            vec![3, 1, 0, 0],
+            vec![4.0, 1.0, 2.0, 3.0],
+        )
+        .unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 4);
+        let back = csr.to_coo();
+        let mut a: Vec<_> = coo.iter().map(|(r, c, v)| (r, c, v.to_bits())).collect();
+        let mut b: Vec<_> = back.iter().map(|(r, c, v)| (r, c, v.to_bits())).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sortedness_detection() {
+        let sorted = Coo::new(3, 3, vec![0, 0, 2], vec![0, 1, 2], vec![1.0; 3]).unwrap();
+        assert!(sorted.is_csr_sorted());
+        let unsorted = Coo::new(3, 3, vec![0, 2, 1], vec![0, 1, 2], vec![1.0; 3]).unwrap();
+        assert!(!unsorted.is_csr_sorted());
+        let col_unsorted = Coo::new(3, 3, vec![0, 0, 1], vec![2, 1, 0], vec![1.0; 3]).unwrap();
+        assert!(!col_unsorted.is_csr_sorted());
+    }
+
+    #[test]
+    fn empty_matrix_is_valid() {
+        let coo = Coo::new(0, 0, vec![], vec![], vec![]).unwrap();
+        assert_eq!(coo.nnz(), 0);
+        assert!(coo.is_csr_sorted());
+        assert_eq!(coo.to_csr().nnz(), 0);
+    }
+}

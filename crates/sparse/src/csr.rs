@@ -1,0 +1,366 @@
+//! Compressed Sparse Row format (Fig. 2(b) of the paper).
+
+use crate::coo::Coo;
+use crate::error::FormatError;
+use crate::hybrid::Hybrid;
+
+/// A sparse matrix in CSR form: `row_offsets` (length `rows + 1`),
+/// `col_indices` and `values` (length `nnz`).
+///
+/// CSR needs `M + 1 + 2·NNZ` stored elements versus the `3·NNZ` of COO /
+/// hybrid CSR/COO (§II of the paper); [`MemoryFootprint`](crate::stats)
+/// reports both so the trade-off the paper discusses is measurable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    row_offsets: Vec<u32>,
+    col_indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl Csr {
+    /// Builds a CSR matrix, validating the invariants of the format.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        row_offsets: Vec<u32>,
+        col_indices: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Result<Self, FormatError> {
+        if row_offsets.len() != rows + 1 {
+            return Err(FormatError::OffsetLength {
+                expected: rows + 1,
+                found: row_offsets.len(),
+            });
+        }
+        for i in 1..row_offsets.len() {
+            if row_offsets[i] < row_offsets[i - 1] {
+                return Err(FormatError::OffsetsNotMonotonic { index: i });
+            }
+        }
+        if row_offsets[rows] as usize != col_indices.len() {
+            return Err(FormatError::OffsetNnzMismatch {
+                expected: col_indices.len(),
+                found: row_offsets[rows] as usize,
+            });
+        }
+        if col_indices.len() != values.len() {
+            return Err(FormatError::ArrayLengthMismatch {
+                indices: col_indices.len(),
+                values: values.len(),
+            });
+        }
+        for (i, &c) in col_indices.iter().enumerate() {
+            if c as usize >= cols {
+                return Err(FormatError::ColumnOutOfBounds {
+                    index: i,
+                    col: c,
+                    cols,
+                });
+            }
+        }
+        Ok(Self {
+            rows,
+            cols,
+            row_offsets,
+            col_indices,
+            values,
+        })
+    }
+
+    /// Builds a CSR matrix from `(row, col, value)` triplets in any order.
+    ///
+    /// Duplicate coordinates are kept as separate entries (their
+    /// contributions add during SpMM, which matches multigraph semantics).
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(u32, u32, f32)],
+    ) -> Result<Self, FormatError> {
+        let mut counts = vec![0u32; rows + 1];
+        for (i, &(r, c, _)) in triplets.iter().enumerate() {
+            if r as usize >= rows {
+                return Err(FormatError::RowOutOfBounds {
+                    index: i,
+                    row: r,
+                    rows,
+                });
+            }
+            if c as usize >= cols {
+                return Err(FormatError::ColumnOutOfBounds {
+                    index: i,
+                    col: c,
+                    cols,
+                });
+            }
+            counts[r as usize + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let row_offsets = counts.clone();
+        let nnz = triplets.len();
+        let mut col_indices = vec![0u32; nnz];
+        let mut values = vec![0f32; nnz];
+        let mut cursor = row_offsets.clone();
+        for &(r, c, v) in triplets {
+            let slot = cursor[r as usize] as usize;
+            col_indices[slot] = c;
+            values[slot] = v;
+            cursor[r as usize] += 1;
+        }
+        // Sort each row's segment by column for canonical order.
+        let mut csr = Self {
+            rows,
+            cols,
+            row_offsets,
+            col_indices,
+            values,
+        };
+        csr.sort_rows_by_column();
+        Ok(csr)
+    }
+
+    fn sort_rows_by_column(&mut self) {
+        for r in 0..self.rows {
+            let lo = self.row_offsets[r] as usize;
+            let hi = self.row_offsets[r + 1] as usize;
+            let mut pairs: Vec<(u32, f32)> = self.col_indices[lo..hi]
+                .iter()
+                .copied()
+                .zip(self.values[lo..hi].iter().copied())
+                .collect();
+            pairs.sort_by_key(|&(c, _)| c);
+            for (k, (c, v)) in pairs.into_iter().enumerate() {
+                self.col_indices[lo + k] = c;
+                self.values[lo + k] = v;
+            }
+        }
+    }
+
+    /// Number of rows `M`.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns `N`.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (non-zero) elements `NNZ`.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.col_indices.len()
+    }
+
+    /// The compressed row-offset array (length `rows + 1`).
+    #[inline]
+    pub fn row_offsets(&self) -> &[u32] {
+        &self.row_offsets
+    }
+
+    /// Column indices of stored elements, grouped by row.
+    #[inline]
+    pub fn col_indices(&self) -> &[u32] {
+        &self.col_indices
+    }
+
+    /// Stored element values, grouped by row.
+    #[inline]
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// The half-open element range of row `r`.
+    #[inline]
+    pub fn row_range(&self, r: usize) -> std::ops::Range<usize> {
+        self.row_offsets[r] as usize..self.row_offsets[r + 1] as usize
+    }
+
+    /// Length (degree) of row `r`.
+    #[inline]
+    pub fn row_len(&self, r: usize) -> usize {
+        (self.row_offsets[r + 1] - self.row_offsets[r]) as usize
+    }
+
+    /// Decodes into the hybrid CSR/COO format (Fig. 2(d)): the compressed
+    /// row-offset array is expanded into one row index per element.
+    pub fn to_hybrid(&self) -> Hybrid {
+        let mut row_indices = Vec::with_capacity(self.nnz());
+        for r in 0..self.rows {
+            row_indices.extend(std::iter::repeat_n(r as u32, self.row_len(r)));
+        }
+        Hybrid::from_sorted_parts(
+            self.rows,
+            self.cols,
+            row_indices,
+            self.col_indices.clone(),
+            self.values.clone(),
+        )
+        .expect("CSR invariants guarantee valid hybrid form")
+    }
+
+    /// Converts into plain COO (same element order as the CSR layout).
+    pub fn to_coo(&self) -> Coo {
+        let h = self.to_hybrid();
+        Coo::new(
+            self.rows,
+            self.cols,
+            h.row_indices().to_vec(),
+            h.col_indices().to_vec(),
+            h.values().to_vec(),
+        )
+        .expect("CSR invariants guarantee valid COO")
+    }
+
+    /// Transposes the matrix (CSC of the original viewed as CSR).
+    pub fn transpose(&self) -> Csr {
+        let mut counts = vec![0u32; self.cols + 1];
+        for &c in &self.col_indices {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let row_offsets = counts.clone();
+        let mut col_indices = vec![0u32; self.nnz()];
+        let mut values = vec![0f32; self.nnz()];
+        let mut cursor = counts;
+        for r in 0..self.rows {
+            for e in self.row_range(r) {
+                let c = self.col_indices[e] as usize;
+                let slot = cursor[c] as usize;
+                col_indices[slot] = r as u32;
+                values[slot] = self.values[e];
+                cursor[c] += 1;
+            }
+        }
+        Csr {
+            rows: self.cols,
+            cols: self.rows,
+            row_offsets,
+            col_indices,
+            values,
+        }
+    }
+
+    /// Iterator over `(row, col, value)` triplets in CSR order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, f32)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            self.row_range(r)
+                .map(move |e| (r as u32, self.col_indices[e], self.values[e]))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The example matrix of Fig. 2(a): 4x4 with 7 non-zeros a..g.
+    pub(crate) fn fig2_matrix() -> Csr {
+        // row 0: a@0, b@2 ; row 1: c@1 ; row 2: d@0, e@2, f@3 ; row 3: g@3
+        Csr::new(
+            4,
+            4,
+            vec![0, 2, 3, 6, 7],
+            vec![0, 2, 1, 0, 2, 3, 3],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn new_validates_offsets() {
+        let err = Csr::new(2, 2, vec![0, 1], vec![0], vec![1.0]).unwrap_err();
+        assert!(matches!(err, FormatError::OffsetLength { .. }));
+        let err = Csr::new(2, 2, vec![0, 2, 1], vec![0], vec![1.0]).unwrap_err();
+        assert!(matches!(err, FormatError::OffsetsNotMonotonic { .. }));
+        let err = Csr::new(2, 2, vec![0, 1, 3], vec![0, 1], vec![1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, FormatError::OffsetNnzMismatch { .. }));
+        let err = Csr::new(2, 2, vec![0, 1, 2], vec![0, 5], vec![1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, FormatError::ColumnOutOfBounds { .. }));
+        let err = Csr::new(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0]).unwrap_err();
+        assert!(matches!(err, FormatError::ArrayLengthMismatch { .. }));
+    }
+
+    #[test]
+    fn fig2_shape() {
+        let m = fig2_matrix();
+        assert_eq!(m.rows(), 4);
+        assert_eq!(m.cols(), 4);
+        assert_eq!(m.nnz(), 7);
+        assert_eq!(m.row_len(0), 2);
+        assert_eq!(m.row_len(1), 1);
+        assert_eq!(m.row_len(2), 3);
+        assert_eq!(m.row_len(3), 1);
+    }
+
+    #[test]
+    fn from_triplets_sorts_and_groups() {
+        let m = Csr::from_triplets(
+            3,
+            3,
+            &[(2, 1, 5.0), (0, 2, 2.0), (0, 0, 1.0), (2, 0, 4.0), (1, 1, 3.0)],
+        )
+        .unwrap();
+        assert_eq!(m.row_offsets(), &[0, 2, 3, 5]);
+        assert_eq!(m.col_indices(), &[0, 2, 1, 0, 1]);
+        assert_eq!(m.values(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn from_triplets_rejects_out_of_bounds() {
+        assert!(matches!(
+            Csr::from_triplets(2, 2, &[(2, 0, 1.0)]).unwrap_err(),
+            FormatError::RowOutOfBounds { .. }
+        ));
+        assert!(matches!(
+            Csr::from_triplets(2, 2, &[(0, 2, 1.0)]).unwrap_err(),
+            FormatError::ColumnOutOfBounds { .. }
+        ));
+    }
+
+    #[test]
+    fn hybrid_decodes_row_indices_like_fig2d() {
+        let h = fig2_matrix().to_hybrid();
+        assert_eq!(h.row_indices(), &[0, 0, 1, 2, 2, 2, 3]);
+        assert_eq!(h.col_indices(), &[0, 2, 1, 0, 2, 3, 3]);
+    }
+
+    #[test]
+    fn transpose_preserves_triplets() {
+        let m = fig2_matrix();
+        let t = m.transpose();
+        assert_eq!(t.rows(), 4);
+        assert_eq!(t.nnz(), m.nnz());
+        let mut orig: Vec<_> = m.iter().map(|(r, c, v)| (c, r, v.to_bits())).collect();
+        let mut trans: Vec<_> = t.iter().map(|(r, c, v)| (r, c, v.to_bits())).collect();
+        orig.sort_unstable();
+        trans.sort_unstable();
+        assert_eq!(orig, trans);
+    }
+
+    #[test]
+    fn empty_rows_are_allowed() {
+        let m = Csr::new(3, 3, vec![0, 0, 0, 1], vec![2], vec![9.0]).unwrap();
+        assert_eq!(m.row_len(0), 0);
+        assert_eq!(m.row_len(1), 0);
+        assert_eq!(m.row_len(2), 1);
+        let h = m.to_hybrid();
+        assert_eq!(h.row_indices(), &[2]);
+    }
+
+    #[test]
+    fn iter_yields_csr_order() {
+        let m = fig2_matrix();
+        let triplets: Vec<_> = m.iter().collect();
+        assert_eq!(triplets[0], (0, 0, 1.0));
+        assert_eq!(triplets[6], (3, 3, 7.0));
+        assert_eq!(triplets.len(), 7);
+    }
+}

@@ -1,0 +1,93 @@
+//! Validation errors for sparse-matrix construction.
+
+use std::fmt;
+
+/// An error produced while validating a sparse-matrix representation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// `row_offsets` must have exactly `rows + 1` entries.
+    OffsetLength { expected: usize, found: usize },
+    /// `row_offsets` must be non-decreasing.
+    OffsetsNotMonotonic { index: usize },
+    /// `row_offsets[rows]` must equal `col_indices.len()`.
+    OffsetNnzMismatch { expected: usize, found: usize },
+    /// Index arrays and the value array must have equal lengths.
+    ArrayLengthMismatch {
+        indices: usize,
+        values: usize,
+    },
+    /// A column index is out of bounds.
+    ColumnOutOfBounds { index: usize, col: u32, cols: usize },
+    /// A row index is out of bounds.
+    RowOutOfBounds { index: usize, row: u32, rows: usize },
+    /// COO entries must be sorted by (row, col) to convert into CSR order.
+    NotSorted { index: usize },
+    /// Dense-matrix data length must equal `rows * cols`.
+    DenseLengthMismatch { expected: usize, found: usize },
+    /// Dimension mismatch between operands of a kernel.
+    DimensionMismatch { context: &'static str },
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::OffsetLength { expected, found } => write!(
+                f,
+                "row_offsets must have rows+1 = {expected} entries, found {found}"
+            ),
+            FormatError::OffsetsNotMonotonic { index } => {
+                write!(f, "row_offsets decreases at index {index}")
+            }
+            FormatError::OffsetNnzMismatch { expected, found } => write!(
+                f,
+                "last row offset {found} does not match nnz {expected}"
+            ),
+            FormatError::ArrayLengthMismatch { indices, values } => write!(
+                f,
+                "index arrays ({indices}) and value array ({values}) differ in length"
+            ),
+            FormatError::ColumnOutOfBounds { index, col, cols } => write!(
+                f,
+                "column index {col} at position {index} out of bounds (cols = {cols})"
+            ),
+            FormatError::RowOutOfBounds { index, row, rows } => write!(
+                f,
+                "row index {row} at position {index} out of bounds (rows = {rows})"
+            ),
+            FormatError::NotSorted { index } => {
+                write!(f, "COO entries are not in CSR order at position {index}")
+            }
+            FormatError::DenseLengthMismatch { expected, found } => write!(
+                f,
+                "dense data length {found} does not match rows*cols = {expected}"
+            ),
+            FormatError::DimensionMismatch { context } => {
+                write!(f, "dimension mismatch in {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = FormatError::OffsetLength {
+            expected: 5,
+            found: 4,
+        };
+        assert!(e.to_string().contains('5'));
+        let e = FormatError::ColumnOutOfBounds {
+            index: 3,
+            col: 9,
+            cols: 4,
+        };
+        assert!(e.to_string().contains("column index 9"));
+        let e = FormatError::DimensionMismatch { context: "spmm" };
+        assert!(e.to_string().contains("spmm"));
+    }
+}

@@ -1,0 +1,283 @@
+//! The hybrid CSR/COO format (Fig. 2(d)) on which HP-SpMM / HP-SDDMM run.
+//!
+//! The hybrid format is a COO whose elements are stored in CSR order — i.e.
+//! the CSR layout with the compressed `RowOffset` array decoded into a full
+//! per-element `RowInd` array. GNN frameworks store sampled subgraphs in
+//! this format directly (§II), which is why the paper's kernels need no
+//! preprocessing or format conversion at run time.
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::error::FormatError;
+
+/// A sparse matrix in hybrid CSR/COO form.
+///
+/// Invariant: the `(row, col)` pairs are sorted row-major (rows
+/// non-decreasing; columns non-decreasing within a row). This lets a kernel
+/// read any contiguous chunk of elements and know that equal row indices are
+/// adjacent, which is what makes the row-switch procedure of Algorithms 3
+/// and 4 work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hybrid {
+    rows: usize,
+    cols: usize,
+    row_indices: Vec<u32>,
+    col_indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl Hybrid {
+    /// Builds a hybrid matrix from parts already in CSR element order.
+    ///
+    /// Returns [`FormatError::NotSorted`] when the order invariant is
+    /// violated; use [`Hybrid::from_coo`] to sort arbitrary input.
+    pub fn from_sorted_parts(
+        rows: usize,
+        cols: usize,
+        row_indices: Vec<u32>,
+        col_indices: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Result<Self, FormatError> {
+        let coo = Coo::new(rows, cols, row_indices, col_indices, values)?;
+        if !coo.is_csr_sorted() {
+            let idx = coo
+                .row_indices()
+                .windows(2)
+                .zip(coo.col_indices().windows(2))
+                .position(|(r, c)| !(r[0] < r[1] || (r[0] == r[1] && c[0] <= c[1])))
+                .map(|p| p + 1)
+                .unwrap_or(0);
+            return Err(FormatError::NotSorted { index: idx });
+        }
+        Ok(Self {
+            rows,
+            cols,
+            row_indices: coo.row_indices().to_vec(),
+            col_indices: coo.col_indices().to_vec(),
+            values: coo.values().to_vec(),
+        })
+    }
+
+    /// Builds a hybrid matrix from an arbitrary-order COO by sorting.
+    pub fn from_coo(coo: &Coo) -> Self {
+        coo.to_csr().to_hybrid()
+    }
+
+    /// Builds a hybrid matrix straight from `(row, col, value)` triplets.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(u32, u32, f32)],
+    ) -> Result<Self, FormatError> {
+        Ok(Csr::from_triplets(rows, cols, triplets)?.to_hybrid())
+    }
+
+    /// Number of rows `M` (destination nodes).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns `N` (source nodes).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored elements `NNZ` (edges).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Decoded per-element row indices (`RowInd`).
+    #[inline]
+    pub fn row_indices(&self) -> &[u32] {
+        &self.row_indices
+    }
+
+    /// Per-element column indices (`ColInd`).
+    #[inline]
+    pub fn col_indices(&self) -> &[u32] {
+        &self.col_indices
+    }
+
+    /// Stored element values (`Value`).
+    #[inline]
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Mutable view of the stored values (SDDMM writes its output here).
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f32] {
+        &mut self.values
+    }
+
+    /// Replaces all stored values, keeping the sparsity pattern.
+    ///
+    /// # Panics
+    /// Panics when `values.len() != self.nnz()`.
+    pub fn set_values(&mut self, values: Vec<f32>) {
+        assert_eq!(values.len(), self.nnz(), "value array length must match nnz");
+        self.values = values;
+    }
+
+    /// Re-encodes the row indices into a compressed CSR offset array.
+    pub fn to_csr(&self) -> Csr {
+        let mut offsets = vec![0u32; self.rows + 1];
+        for &r in &self.row_indices {
+            offsets[r as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        Csr::new(
+            self.rows,
+            self.cols,
+            offsets,
+            self.col_indices.clone(),
+            self.values.clone(),
+        )
+        .expect("hybrid invariants guarantee valid CSR")
+    }
+
+    /// Iterator over `(row, col, value)` triplets in CSR element order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, f32)> + '_ {
+        self.row_indices
+            .iter()
+            .zip(&self.col_indices)
+            .zip(&self.values)
+            .map(|((&r, &c), &v)| (r, c, v))
+    }
+
+    /// Splits the element range `[0, nnz)` into chunks of `chunk` elements —
+    /// the task assignment of the hybrid-parallel strategy, where each warp
+    /// receives exactly `NnzPerWarp` elements regardless of row boundaries.
+    pub fn chunks(&self, chunk: usize) -> impl Iterator<Item = std::ops::Range<usize>> + '_ {
+        let nnz = self.nnz();
+        (0..nnz.div_ceil(chunk.max(1)))
+            .map(move |i| i * chunk..((i + 1) * chunk).min(nnz))
+    }
+
+    /// Number of row switches a warp covering `range` performs — used by the
+    /// simulator to cost the row-switch procedure of Algorithm 3.
+    pub fn row_switches_in(&self, range: std::ops::Range<usize>) -> usize {
+        if range.is_empty() {
+            return 0;
+        }
+        self.row_indices[range]
+            .windows(2)
+            .filter(|w| w[0] != w[1])
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig2_hybrid() -> Hybrid {
+        Hybrid::from_sorted_parts(
+            4,
+            4,
+            vec![0, 0, 1, 2, 2, 2, 3],
+            vec![0, 2, 1, 0, 2, 3, 3],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sorted_parts_accepts_fig2d() {
+        let h = fig2_hybrid();
+        assert_eq!(h.nnz(), 7);
+        assert_eq!(h.rows(), 4);
+    }
+
+    #[test]
+    fn sorted_parts_rejects_unsorted_rows() {
+        let err = Hybrid::from_sorted_parts(
+            2,
+            2,
+            vec![1, 0],
+            vec![0, 0],
+            vec![1.0, 2.0],
+        )
+        .unwrap_err();
+        assert!(matches!(err, FormatError::NotSorted { index: 1 }));
+    }
+
+    #[test]
+    fn sorted_parts_rejects_unsorted_cols_within_row() {
+        let err = Hybrid::from_sorted_parts(
+            2,
+            3,
+            vec![0, 0],
+            vec![2, 1],
+            vec![1.0, 2.0],
+        )
+        .unwrap_err();
+        assert!(matches!(err, FormatError::NotSorted { .. }));
+    }
+
+    #[test]
+    fn csr_roundtrip() {
+        let h = fig2_hybrid();
+        let csr = h.to_csr();
+        assert_eq!(csr.row_offsets(), &[0, 2, 3, 6, 7]);
+        assert_eq!(csr.to_hybrid(), h);
+    }
+
+    #[test]
+    fn from_coo_sorts() {
+        let coo = Coo::new(
+            3,
+            3,
+            vec![2, 0, 1],
+            vec![0, 1, 2],
+            vec![3.0, 1.0, 2.0],
+        )
+        .unwrap();
+        let h = Hybrid::from_coo(&coo);
+        assert_eq!(h.row_indices(), &[0, 1, 2]);
+        assert_eq!(h.values(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn chunks_cover_all_elements_without_overlap() {
+        let h = fig2_hybrid();
+        let ranges: Vec<_> = h.chunks(3).collect();
+        assert_eq!(ranges, vec![0..3, 3..6, 6..7]);
+        let ranges: Vec<_> = h.chunks(7).collect();
+        assert_eq!(ranges, vec![0..7]);
+        let ranges: Vec<_> = h.chunks(100).collect();
+        assert_eq!(ranges, vec![0..7]);
+    }
+
+    #[test]
+    fn row_switch_counting() {
+        let h = fig2_hybrid();
+        // rows: 0 0 | 1 2 2 | 2 3 when chunked by 3 and for full range.
+        assert_eq!(h.row_switches_in(0..7), 3);
+        assert_eq!(h.row_switches_in(0..2), 0);
+        assert_eq!(h.row_switches_in(2..5), 1);
+        assert_eq!(h.row_switches_in(0..0), 0);
+        assert_eq!(h.row_switches_in(6..7), 0);
+    }
+
+    #[test]
+    fn set_values_keeps_pattern() {
+        let mut h = fig2_hybrid();
+        h.set_values(vec![0.0; 7]);
+        assert_eq!(h.values(), &[0.0; 7]);
+        assert_eq!(h.col_indices()[1], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "value array length")]
+    fn set_values_rejects_wrong_length() {
+        let mut h = fig2_hybrid();
+        h.set_values(vec![0.0; 3]);
+    }
+}

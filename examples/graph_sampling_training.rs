@@ -1,0 +1,89 @@
+//! GraphSAINT-style graph-sampling training — the dynamic mode where
+//! preprocessing-free kernels matter most (§II of the paper).
+//!
+//! Every iteration samples a fresh subgraph, so any kernel that needs to
+//! sort or partition the matrix first would pay that cost every step;
+//! HP-SpMM's hybrid-parallel assignment needs nothing beyond the hybrid
+//! CSR/COO arrays the sampler already produces.
+//!
+//! ```sh
+//! cargo run --release --example graph_sampling_training
+//! ```
+
+use hpsparse::datasets::features::{planted_labels, random_features};
+use hpsparse::datasets::generators::{GeneratorConfig, Topology};
+use hpsparse::gnn::{
+    train_graph_sampling, BaselineBackend, GcnConfig, HpBackend, TrainConfig,
+};
+use hpsparse::sim::DeviceSpec;
+
+fn main() {
+    // A Yelp-like social graph.
+    let graph = GeneratorConfig {
+        nodes: 60_000,
+        edges: 700_000,
+        topology: Topology::Community {
+            communities: 120,
+            p_in: 0.85,
+            alpha: 2.1,
+        },
+        seed: 11,
+    }
+    .generate();
+    let features = random_features(graph.num_nodes(), 64, 11);
+    let labels = planted_labels(&features, 8, 11);
+
+    let model_cfg = GcnConfig {
+        in_dim: 64,
+        hidden: 64,
+        layers: 3,
+        classes: 8,
+        seed: 2,
+    };
+    let train_cfg = TrainConfig {
+        epochs: 20, // = sampled mini-batches
+        lr: 0.02,
+        sample_nodes: 4_000,
+        seed: 5,
+    };
+
+    println!(
+        "GraphSAINT training on {} nodes / {} edges, {} iterations of \
+         {}-node degree-biased samples\n",
+        graph.num_nodes(),
+        graph.num_edges(),
+        train_cfg.epochs,
+        train_cfg.sample_nodes
+    );
+
+    let mut baseline = BaselineBackend::new(DeviceSpec::v100());
+    let (_, base) = train_graph_sampling(
+        &mut baseline, &graph, &features, &labels, model_cfg, train_cfg,
+    );
+    let mut hp = HpBackend::new(DeviceSpec::v100());
+    let (_, ours) = train_graph_sampling(
+        &mut hp, &graph, &features, &labels, model_cfg, train_cfg,
+    );
+
+    println!(
+        "baseline kernels: loss {:.3} -> {:.3}, GPU time {:.2} ms \
+         ({:.2} ms sparse)",
+        base.losses.first().unwrap(),
+        base.losses.last().unwrap(),
+        base.total_ms,
+        base.sparse_ms
+    );
+    println!(
+        "HP kernels      : loss {:.3} -> {:.3}, GPU time {:.2} ms \
+         ({:.2} ms sparse)",
+        ours.losses.first().unwrap(),
+        ours.losses.last().unwrap(),
+        ours.total_ms,
+        ours.sparse_ms
+    );
+    println!(
+        "\nspeedup {:.2}x — with zero per-iteration preprocessing, because \
+         sampled subgraphs arrive already in hybrid CSR/COO form",
+        base.total_ms / ours.total_ms
+    );
+}

@@ -1,0 +1,80 @@
+//! Inside DTP and HVMA: how `NnzPerWarp` and the vector width respond to
+//! the input, and what each choice does to waves, tail effect and memory
+//! instructions — Figs. 6 and 7 of the paper, live.
+//!
+//! ```sh
+//! cargo run --release --example kernel_tuning
+//! ```
+
+use hpsparse::datasets::generators::{GeneratorConfig, Topology};
+use hpsparse::kernels::hp::{HpConfig, HpSpmm, SpmmKernel};
+use hpsparse::sim::DeviceSpec;
+use hpsparse::sparse::Dense;
+
+fn main() {
+    let v100 = DeviceSpec::v100();
+    let k = 64;
+
+    println!("== DTP: NnzPerWarp across graph scales ==\n");
+    println!("{:>12} {:>12} {:>12} {:>8} {:>8}", "edges", "nodes", "NnzPerWarp", "vw", "blocks");
+    for (nodes, edges) in [
+        (2_000usize, 20_000usize), // sampled subgraph
+        (4_267, 500_000),          // ddi-like: dense, few nodes
+        (50_000, 500_000),         // mid-size
+        (500_000, 5_000_000),      // large
+    ] {
+        let cfg = HpConfig::auto(&v100, edges, nodes, k);
+        println!(
+            "{:>12} {:>12} {:>12} {:>8} {:>8}",
+            edges,
+            nodes,
+            cfg.nnz_per_warp,
+            cfg.vector_width,
+            cfg.spmm_blocks(edges, k)
+        );
+    }
+
+    println!("\n== Tail effect: the same graph under different granularities ==\n");
+    let graph = GeneratorConfig {
+        nodes: 4_000,
+        edges: 400_000,
+        topology: Topology::Uniform,
+        seed: 3,
+    }
+    .generate();
+    let s = graph.to_hybrid();
+    let a = Dense::from_fn(s.cols(), k, |i, j| ((i + j) as f32 * 1e-3).cos());
+
+    println!(
+        "{:>12} {:>10} {:>8} {:>10} {:>12} {:>10}",
+        "NnzPerWarp", "vw", "waves", "tail util", "instructions", "time ms"
+    );
+    for npw in [8usize, 32, 64, 128, 256, 512, 2048] {
+        let cfg = HpConfig {
+            nnz_per_warp: npw,
+            vector_width: match npw {
+                n if n >= 128 => 2, // capped by K = 64
+                n if n >= 64 => 2,
+                _ => 1,
+            },
+            warps_per_block: 8,
+            alpha: 4.0,
+        };
+        let run = HpSpmm::new(cfg).run(&v100, &s, &a).expect("valid operands");
+        let r = &run.report;
+        println!(
+            "{:>12} {:>10} {:>8} {:>9.0}% {:>12} {:>10.4}",
+            npw,
+            cfg.vector_width,
+            r.num_waves,
+            r.tail_utilization * 100.0,
+            r.totals.instructions,
+            r.time_ms
+        );
+    }
+    let auto = HpConfig::auto(&v100, s.nnz(), s.rows(), k);
+    println!(
+        "\nDTP+HVMA picks NnzPerWarp = {} with float{} loads for this input.",
+        auto.nnz_per_warp, auto.vector_width
+    );
+}

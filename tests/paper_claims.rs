@@ -1,0 +1,213 @@
+//! The paper's headline claims, asserted as integration tests. Each test
+//! names the section of the paper it guards.
+
+use hpsparse::datasets::generators::{GeneratorConfig, Topology};
+use hpsparse::datasets::{sampling_corpus, variance_family};
+use hpsparse::kernels::baselines::{GeSpmm, Huang, MergePath, Sputnik};
+use hpsparse::kernels::hp::{HpConfig, HpSpmm};
+use hpsparse::kernels::SpmmKernel;
+use hpsparse::reorder::{gcr_reorder, louvain, LouvainConfig};
+use hpsparse::sim::DeviceSpec;
+use hpsparse::sparse::{Dense, DegreeStats, MemoryFootprint};
+
+fn features(rows: usize, k: usize) -> Dense {
+    Dense::from_fn(rows, k, |i, j| (((i * 131 + j * 17) % 1000) as f32) * 1e-3)
+}
+
+/// §III-A: the hybrid-parallel strategy equalises warp loads where
+/// node-parallel kernels inherit the degree distribution.
+#[test]
+fn hybrid_parallelism_beats_node_parallelism_under_skew() {
+    let v100 = DeviceSpec::v100();
+    let skewed = GeneratorConfig {
+        nodes: 5_000,
+        edges: 100_000,
+        topology: Topology::PowerLaw { alpha: 1.9 },
+        seed: 4,
+    }
+    .generate();
+    let s = skewed.to_hybrid();
+    let a = features(s.cols(), 64);
+    let hp = HpSpmm::auto(&v100, &s, 64).run(&v100, &s, &a).unwrap();
+    let ge = GeSpmm.run(&v100, &s, &a).unwrap();
+    assert!(
+        ge.report.cycles as f64 > 1.3 * hp.report.cycles as f64,
+        "expected a clear win under skew: hp {} vs ge {}",
+        hp.report.cycles,
+        ge.report.cycles
+    );
+    assert!(hp.report.imbalance() < ge.report.imbalance());
+}
+
+/// §II / Table IV: preprocessing-based kernels carry costs that dynamic
+/// graph-sampling cannot amortise; HP-SpMM reports none.
+#[test]
+fn preprocessing_free_property() {
+    let v100 = DeviceSpec::v100();
+    let g = GeneratorConfig {
+        nodes: 3_000,
+        edges: 60_000,
+        topology: Topology::PowerLaw { alpha: 2.2 },
+        seed: 8,
+    }
+    .generate();
+    let s = g.to_hybrid();
+    let a = features(s.cols(), 64);
+    let hp = HpSpmm::auto(&v100, &s, 64).run(&v100, &s, &a).unwrap();
+    assert!(hp.preprocess.is_none());
+    for kernel in [
+        Box::new(MergePath::default()) as Box<dyn SpmmKernel>,
+        Box::new(Sputnik::default()),
+        Box::new(Huang::default()),
+    ] {
+        let run = kernel.run(&v100, &s, &a).unwrap();
+        let pre = run
+            .preprocess
+            .unwrap_or_else(|| panic!("{} must report preprocessing", kernel.name()));
+        assert!(pre.cycles > 0);
+    }
+}
+
+/// Fig. 12: the HP advantage over node-parallel kernels grows with degree
+/// variance (positive correlation).
+#[test]
+fn speedup_correlates_with_degree_variance() {
+    let v100 = DeviceSpec::v100();
+    let family = variance_family(3_000, 23.0, 5, 77);
+    let mut prev_std = -1.0;
+    let mut speedups = Vec::new();
+    for g in &family {
+        let stats = DegreeStats::of(g.adjacency());
+        assert!(stats.std_dev > prev_std, "family must be std-ordered");
+        prev_std = stats.std_dev;
+        let s = g.to_hybrid();
+        let a = features(s.cols(), 64);
+        let hp = HpSpmm::auto(&v100, &s, 64).run(&v100, &s, &a).unwrap();
+        let ge = GeSpmm.run(&v100, &s, &a).unwrap();
+        speedups.push(ge.report.cycles as f64 / hp.report.cycles as f64);
+    }
+    assert!(
+        speedups.last().unwrap() > speedups.first().unwrap(),
+        "speedups should grow with variance: {speedups:?}"
+    );
+}
+
+/// §III-C / Fig. 11: GCR improves the L2 hit rate of community graphs
+/// whose feature working set exceeds the cache.
+#[test]
+fn gcr_improves_cache_behaviour_on_large_community_graphs() {
+    let v100 = DeviceSpec::v100();
+    let g = GeneratorConfig {
+        nodes: 50_000,
+        edges: 500_000,
+        topology: Topology::Community {
+            communities: 100,
+            p_in: 0.85,
+            alpha: 2.2,
+        },
+        seed: 15,
+    }
+    .generate();
+    let reordered = gcr_reorder(&g);
+    let s0 = g.to_hybrid();
+    let s1 = reordered.graph.to_hybrid();
+    let a = features(s0.cols(), 64);
+    let before = HpSpmm::auto(&v100, &s0, 64).run(&v100, &s0, &a).unwrap();
+    let after = HpSpmm::auto(&v100, &s1, 64).run(&v100, &s1, &a).unwrap();
+    assert!(
+        after.report.l2_hit_rate > before.report.l2_hit_rate + 0.1,
+        "hit rate {} -> {}",
+        before.report.l2_hit_rate,
+        after.report.l2_hit_rate
+    );
+    assert!(after.report.cycles < before.report.cycles);
+}
+
+/// §III-B1: DTP restores parallelism on few-node / many-edge graphs
+/// (the DDI case of Fig. 11).
+#[test]
+fn dtp_helps_dense_small_node_graphs() {
+    let v100 = DeviceSpec::v100();
+    let g = GeneratorConfig {
+        nodes: 2_000,
+        edges: 400_000,
+        topology: Topology::Uniform,
+        seed: 23,
+    }
+    .generate();
+    let s = g.to_hybrid();
+    let a = features(s.cols(), 64);
+    let base = HpSpmm::new(HpConfig::base(s.nnz(), s.rows()))
+        .run(&v100, &s, &a)
+        .unwrap();
+    let dtp = HpSpmm::new(HpConfig::with_dtp(&v100, s.nnz(), s.rows(), 64))
+        .run(&v100, &s, &a)
+        .unwrap();
+    assert!(
+        dtp.report.cycles < base.report.cycles,
+        "DTP should pay off: base {} vs dtp {}",
+        base.report.cycles,
+        dtp.report.cycles
+    );
+}
+
+/// §II: storage footprints follow the formulas the paper quotes.
+#[test]
+fn format_storage_matches_section2() {
+    for (rows, nnz) in [(1000, 5000), (100, 100_000), (1_000_000, 2_000_000)] {
+        let f = MemoryFootprint::of(rows, nnz);
+        assert_eq!(f.csr, rows + 1 + 2 * nnz);
+        assert_eq!(f.coo, 3 * nnz);
+        assert_eq!(f.hybrid, 3 * nnz);
+    }
+}
+
+/// Fig. 10 setting: the kernels run preprocessing-free over a sampled
+/// corpus and beat the node-parallel baseline on a strong majority.
+#[test]
+fn wins_on_most_sampled_subgraphs() {
+    let v100 = DeviceSpec::v100();
+    let corpus = sampling_corpus(24, 99);
+    let mut wins = 0;
+    for g in &corpus {
+        let s = g.to_hybrid();
+        let a = features(s.cols(), 64);
+        let hp = HpSpmm::auto(&v100, &s, 64).run(&v100, &s, &a).unwrap();
+        let ge = GeSpmm.run(&v100, &s, &a).unwrap();
+        if hp.report.cycles <= ge.report.cycles {
+            wins += 1;
+        }
+    }
+    assert!(
+        wins * 100 >= corpus.len() * 75,
+        "won only {wins}/{} sampled subgraphs",
+        corpus.len()
+    );
+}
+
+/// §III-C: Louvain finds planted communities, the foundation of GCR.
+#[test]
+fn louvain_recovers_planted_structure() {
+    let g = GeneratorConfig {
+        nodes: 2_000,
+        edges: 30_000,
+        topology: Topology::Community {
+            communities: 10,
+            p_in: 0.9,
+            alpha: 2.5,
+        },
+        seed: 55,
+    }
+    .generate();
+    let res = louvain(&g, LouvainConfig::default());
+    assert!(
+        res.modularity > 0.5,
+        "expected strong modularity, got {}",
+        res.modularity
+    );
+    assert!(
+        (5..=40).contains(&res.num_communities),
+        "{} communities found",
+        res.num_communities
+    );
+}
