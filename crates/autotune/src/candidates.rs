@@ -1,0 +1,231 @@
+//! Candidate enumeration: the kernel space the planner searches.
+//!
+//! For SpMM the space is every HP-SpMM configuration the paper's DTP would
+//! consider (one candidate per [`NNZ_PER_WARP_CANDIDATES`] entry, HVMA
+//! vector width attached), the paper-auto configuration itself, and every
+//! baseline in the `hpsparse-core` registry. HP candidates carry their
+//! resolved [`HpConfig`] so a cached plan replays the exact launch
+//! parameters that were chosen, not a re-derivation that could drift.
+
+use hpsparse_core::baselines::{sddmm_by_id, spmm_by_id, SDDMM_IDS, SPMM_IDS};
+use hpsparse_core::hp::config::{
+    hvma_vector_width, HpConfig, DEFAULT_ALPHA, NNZ_PER_WARP_CANDIDATES, WARPS_PER_BLOCK,
+};
+use hpsparse_core::hp::{HpSddmm, HpSpmm};
+use hpsparse_core::traits::{SddmmKernel, SpmmKernel};
+use hpsparse_sim::DeviceSpec;
+
+use crate::fingerprint::GraphFingerprint;
+
+/// One point in the planner's search space: a kernel id plus, for HP
+/// kernels, the fully resolved launch configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Registry id (`"gespmm"`, …) or an HP id (`"hp:npw=256"`,
+    /// `"hp:auto"`, `"hp-sddmm:npw=64"`, `"hp-sddmm:auto"`).
+    pub kernel_id: String,
+    /// Resolved launch parameters for HP candidates; `None` for baselines
+    /// (they configure themselves).
+    pub config: Option<HpConfig>,
+}
+
+/// The vector-width cap the feature dimension imposes (mirrors the HVMA
+/// rule inside `HpConfig::with_hvma`): a warp covers `32 × vw` columns, so
+/// widths beyond `K/32` would idle lanes; snap down to a supported width.
+fn capped_vw(nnz_per_warp: usize, k: usize) -> u32 {
+    let v = hvma_vector_width(nnz_per_warp).min((k / 32).max(1) as u32);
+    match v {
+        4.. => 4,
+        2..=3 => 2,
+        _ => 1,
+    }
+}
+
+/// Enumerates the SpMM candidate space for a fingerprinted input:
+/// `NNZ_PER_WARP_CANDIDATES.len() + 1` HP configurations followed by every
+/// registry baseline. Order is deterministic and id-stable.
+pub fn spmm_candidates(device: &DeviceSpec, fp: &GraphFingerprint) -> Vec<Candidate> {
+    let mut out = Vec::with_capacity(NNZ_PER_WARP_CANDIDATES.len() + 1 + SPMM_IDS.len());
+    for &npw in &NNZ_PER_WARP_CANDIDATES {
+        out.push(Candidate {
+            kernel_id: format!("hp:npw={npw}"),
+            config: Some(HpConfig {
+                nnz_per_warp: npw,
+                vector_width: capped_vw(npw, fp.k),
+                warps_per_block: WARPS_PER_BLOCK,
+                alpha: DEFAULT_ALPHA,
+            }),
+        });
+    }
+    out.push(Candidate {
+        kernel_id: "hp:auto".into(),
+        config: Some(HpConfig::auto(device, fp.nnz, fp.rows, fp.k)),
+    });
+    for id in SPMM_IDS {
+        out.push(Candidate {
+            kernel_id: id.into(),
+            config: None,
+        });
+    }
+    out
+}
+
+/// Enumerates the SDDMM candidate space: HP-SDDMM at every `NnzPerWarp`
+/// plus the auto configuration, then the registry baselines. The vector
+/// width follows `HpSddmm::auto`'s rule (set by K alone — SDDMM's
+/// feature-row reads vectorise independently of tile alignment).
+pub fn sddmm_candidates(device: &DeviceSpec, fp: &GraphFingerprint) -> Vec<Candidate> {
+    let sddmm_vw = if fp.k >= 128 {
+        4
+    } else if fp.k >= 64 {
+        2
+    } else {
+        1
+    };
+    let mut out = Vec::with_capacity(NNZ_PER_WARP_CANDIDATES.len() + 1 + SDDMM_IDS.len());
+    for &npw in &NNZ_PER_WARP_CANDIDATES {
+        out.push(Candidate {
+            kernel_id: format!("hp-sddmm:npw={npw}"),
+            config: Some(HpConfig {
+                nnz_per_warp: npw,
+                vector_width: sddmm_vw,
+                warps_per_block: WARPS_PER_BLOCK,
+                alpha: DEFAULT_ALPHA,
+            }),
+        });
+    }
+    let mut auto = HpConfig::auto(device, fp.nnz, fp.rows, 32);
+    auto.vector_width = sddmm_vw;
+    out.push(Candidate {
+        kernel_id: "hp-sddmm:auto".into(),
+        config: Some(auto),
+    });
+    for id in SDDMM_IDS {
+        out.push(Candidate {
+            kernel_id: id.into(),
+            config: None,
+        });
+    }
+    out
+}
+
+/// Instantiates an SpMM candidate as a runnable kernel. Returns `None` for
+/// ids this build does not know (e.g. a plan cache written by a newer
+/// version) — callers fall back to re-planning.
+pub fn instantiate_spmm(c: &Candidate) -> Option<Box<dyn SpmmKernel>> {
+    if c.kernel_id.starts_with("hp:") {
+        return c
+            .config
+            .map(|cfg| Box::new(HpSpmm::new(cfg)) as Box<dyn SpmmKernel>);
+    }
+    spmm_by_id(&c.kernel_id)
+}
+
+/// Instantiates an SDDMM candidate as a runnable kernel.
+pub fn instantiate_sddmm(c: &Candidate) -> Option<Box<dyn SddmmKernel>> {
+    if c.kernel_id.starts_with("hp-sddmm:") {
+        return c
+            .config
+            .map(|cfg| Box::new(HpSddmm::new(cfg)) as Box<dyn SddmmKernel>);
+    }
+    sddmm_by_id(&c.kernel_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp_for(rows: usize, cols: usize, nnz: usize, k: usize) -> GraphFingerprint {
+        GraphFingerprint {
+            rows,
+            cols,
+            nnz,
+            mean_degree: nnz as f64 / rows.max(1) as f64,
+            max_degree: (nnz as f64 / rows.max(1) as f64).ceil() as usize,
+            degree_std: 0.0,
+            degree_cv: 0.0,
+            tail_heaviness: 1.0,
+            k,
+            device: "Tesla V100",
+            num_sms: 80,
+        }
+    }
+
+    #[test]
+    fn spmm_space_covers_dtp_and_registry() {
+        let v100 = DeviceSpec::v100();
+        let cands = spmm_candidates(&v100, &fp_for(10_000, 10_000, 100_000, 64));
+        assert_eq!(
+            cands.len(),
+            NNZ_PER_WARP_CANDIDATES.len() + 1 + SPMM_IDS.len()
+        );
+        assert!(cands.iter().any(|c| c.kernel_id == "hp:auto"));
+        assert!(cands.iter().any(|c| c.kernel_id == "hp:npw=512"));
+        assert!(cands.iter().any(|c| c.kernel_id == "gespmm"));
+        // Every candidate instantiates.
+        for c in &cands {
+            assert!(
+                instantiate_spmm(c).is_some(),
+                "{} must instantiate",
+                c.kernel_id
+            );
+        }
+        // HVMA widths attached per the paper's table, capped by K=64.
+        let npw512 = cands.iter().find(|c| c.kernel_id == "hp:npw=512").unwrap();
+        assert_eq!(
+            npw512.config.unwrap().vector_width,
+            2,
+            "K/32 caps float4 to float2"
+        );
+        let npw8 = cands.iter().find(|c| c.kernel_id == "hp:npw=8").unwrap();
+        assert_eq!(npw8.config.unwrap().vector_width, 1);
+    }
+
+    #[test]
+    fn sddmm_space_covers_hp_and_registry() {
+        let v100 = DeviceSpec::v100();
+        let cands = sddmm_candidates(&v100, &fp_for(10_000, 10_000, 100_000, 64));
+        assert_eq!(
+            cands.len(),
+            NNZ_PER_WARP_CANDIDATES.len() + 1 + SDDMM_IDS.len()
+        );
+        for c in &cands {
+            assert!(
+                instantiate_sddmm(c).is_some(),
+                "{} must instantiate",
+                c.kernel_id
+            );
+        }
+        let auto = cands
+            .iter()
+            .find(|c| c.kernel_id == "hp-sddmm:auto")
+            .unwrap();
+        assert_eq!(
+            auto.config.unwrap().vector_width,
+            2,
+            "K=64 → float2 per Algorithm 4"
+        );
+    }
+
+    #[test]
+    fn hp_auto_candidate_matches_paper_selector() {
+        let v100 = DeviceSpec::v100();
+        let fp = fp_for(5_000, 5_000, 60_000, 128);
+        let cands = spmm_candidates(&v100, &fp);
+        let auto = cands.iter().find(|c| c.kernel_id == "hp:auto").unwrap();
+        assert_eq!(
+            auto.config.unwrap(),
+            HpConfig::auto(&v100, fp.nnz, fp.rows, fp.k),
+        );
+    }
+
+    #[test]
+    fn unknown_candidate_ids_do_not_instantiate() {
+        let c = Candidate {
+            kernel_id: "from-the-future".into(),
+            config: None,
+        };
+        assert!(instantiate_spmm(&c).is_none());
+        assert!(instantiate_sddmm(&c).is_none());
+    }
+}

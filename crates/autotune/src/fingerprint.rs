@@ -1,0 +1,182 @@
+//! Graph fingerprints: the cache key of the planning subsystem.
+//!
+//! A fingerprint condenses everything the planner's decision depends on —
+//! the sparse matrix's shape and degree distribution (the paper's
+//! load-imbalance proxies, §IV-E), the feature dimension `K`, and the
+//! device identity — into a small stable record with a 64-bit hash key.
+//! Two inputs with equal fingerprints get the same plan, so the floats
+//! entering the hash are quantised: micro-differences in degree statistics
+//! must not fragment the cache.
+
+use hpsparse_sim::DeviceSpec;
+use hpsparse_sparse::{DegreeStats, Hybrid};
+
+/// Everything the planner looks at, condensed. Obtain via
+/// [`GraphFingerprint::of`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphFingerprint {
+    /// Rows of the sparse matrix (destination nodes).
+    pub rows: usize,
+    /// Columns (source nodes).
+    pub cols: usize,
+    /// Non-zeros (edges).
+    pub nnz: usize,
+    /// Mean row degree.
+    pub mean_degree: f64,
+    /// Largest row degree — the critical path of row-parallel kernels.
+    pub max_degree: usize,
+    /// Population standard deviation of row degree.
+    pub degree_std: f64,
+    /// Coefficient of variation (`std / mean`; the paper's Fig. 12 axis).
+    pub degree_cv: f64,
+    /// Tail heaviness: `max_degree / mean_degree` (0 for empty matrices).
+    /// Distinguishes a single hub row from uniformly spread skew at equal
+    /// CV.
+    pub tail_heaviness: f64,
+    /// Feature dimension the kernels will run at.
+    pub k: usize,
+    /// Device name (plans are device-specific).
+    pub device: &'static str,
+    /// SM count, folded into the key so renamed-but-different specs never
+    /// alias.
+    pub num_sms: u32,
+}
+
+impl GraphFingerprint {
+    /// Fingerprints a matrix for SpMM/SDDMM at feature dimension `k` on
+    /// `device`. Total cost is one CSR conversion plus an O(rows) pass;
+    /// never panics, including on matrices with 0 rows or 0 non-zeros.
+    pub fn of(s: &Hybrid, k: usize, device: &DeviceSpec) -> Self {
+        let stats = DegreeStats::of(&s.to_csr());
+        Self {
+            rows: s.rows(),
+            cols: s.cols(),
+            nnz: s.nnz(),
+            mean_degree: stats.mean,
+            max_degree: stats.max,
+            degree_std: stats.std_dev,
+            degree_cv: stats.cv,
+            tail_heaviness: if stats.mean > 0.0 {
+                stats.max as f64 / stats.mean
+            } else {
+                0.0
+            },
+            k,
+            device: device.name,
+            num_sms: device.num_sms,
+        }
+    }
+
+    /// Canonical textual encoding — the hash pre-image, also persisted in
+    /// the plan cache so saved entries are self-describing. Floats are
+    /// quantised to 3 decimal places.
+    pub fn canonical_encoding(&self) -> String {
+        format!(
+            "fp-v1|rows={}|cols={}|nnz={}|mean={:.3}|max={}|std={:.3}|cv={:.3}|tail={:.3}|k={}|device={}|sms={}",
+            self.rows,
+            self.cols,
+            self.nnz,
+            self.mean_degree,
+            self.max_degree,
+            self.degree_std,
+            self.degree_cv,
+            self.tail_heaviness,
+            self.k,
+            self.device,
+            self.num_sms,
+        )
+    }
+
+    /// Stable 64-bit cache key: FNV-1a over [`Self::canonical_encoding`].
+    /// Stable across runs, platforms and (barring an encoding version
+    /// bump) releases — the property persisted caches rely on.
+    pub fn key(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.canonical_encoding().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn power_law_ish() -> Hybrid {
+        let mut t = Vec::new();
+        for c in 0..64u32 {
+            t.push((0, c, 1.0)); // hub row
+        }
+        for r in 1..32u32 {
+            t.push((r, r % 64, 1.0));
+        }
+        Hybrid::from_triplets(32, 64, &t).unwrap()
+    }
+
+    #[test]
+    fn fingerprint_captures_shape_and_skew() {
+        let s = power_law_ish();
+        let fp = GraphFingerprint::of(&s, 64, &DeviceSpec::v100());
+        assert_eq!((fp.rows, fp.cols, fp.nnz), (32, 64, 95));
+        assert_eq!(fp.max_degree, 64);
+        assert!(fp.degree_cv > 1.0, "hub row should dominate the variance");
+        assert!(fp.tail_heaviness > 10.0);
+        assert_eq!(fp.device, "Tesla V100");
+    }
+
+    #[test]
+    fn key_is_stable_and_discriminates() {
+        let s = power_law_ish();
+        let v100 = DeviceSpec::v100();
+        let a = GraphFingerprint::of(&s, 64, &v100);
+        let b = GraphFingerprint::of(&s, 64, &v100);
+        assert_eq!(a, b);
+        assert_eq!(a.key(), b.key());
+        // K, device, and the matrix all separate keys.
+        assert_ne!(a.key(), GraphFingerprint::of(&s, 32, &v100).key());
+        assert_ne!(
+            a.key(),
+            GraphFingerprint::of(&s, 64, &DeviceSpec::a30()).key()
+        );
+        let denser = Hybrid::from_triplets(32, 64, &[(0, 0, 1.0)]).unwrap();
+        assert_ne!(a.key(), GraphFingerprint::of(&denser, 64, &v100).key());
+    }
+
+    #[test]
+    fn quantisation_absorbs_float_noise() {
+        let fp = GraphFingerprint {
+            rows: 10,
+            cols: 10,
+            nnz: 30,
+            mean_degree: 3.0,
+            max_degree: 5,
+            degree_std: 1.0,
+            degree_cv: 1.0 / 3.0,
+            tail_heaviness: 5.0 / 3.0,
+            k: 64,
+            device: "Tesla V100",
+            num_sms: 80,
+        };
+        let mut nudged = fp.clone();
+        nudged.mean_degree += 1e-9;
+        nudged.degree_cv += 1e-9;
+        assert_eq!(fp.key(), nudged.key());
+    }
+
+    #[test]
+    fn degenerate_matrices_fingerprint_cleanly() {
+        let v100 = DeviceSpec::v100();
+        for s in [
+            Hybrid::from_triplets(0, 0, &[]).unwrap(),
+            Hybrid::from_triplets(5, 5, &[]).unwrap(),
+            Hybrid::from_triplets(1, 1, &[(0, 0, 1.0)]).unwrap(),
+        ] {
+            let fp = GraphFingerprint::of(&s, 64, &v100);
+            assert!(fp.mean_degree.is_finite());
+            assert!(fp.tail_heaviness.is_finite());
+            let _ = fp.key();
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Kernel planning and autotuning for the hybrid-parallel sparse kernels.
+//!
+//! The paper's DTP/HVMA selector (`HpConfig::auto`) picks HP launch
+//! parameters analytically. This crate generalises that step into a
+//! planning subsystem that chooses *among kernels* — every HP
+//! configuration DTP would consider plus every baseline in the
+//! `hpsparse-core` registry — and remembers its decisions:
+//!
+//! 1. **Fingerprinting** ([`fingerprint`]) — condense a sparse input into
+//!    the shape/skew/device features the decision depends on, with a
+//!    stable 64-bit cache key.
+//! 2. **Planning** ([`planner`], [`candidates`], [`cost`]) — rank
+//!    candidates with an analytic cost model (imbalance, tail, bandwidth),
+//!    optionally re-measure the front-runners on the simulator, and emit
+//!    an explainable [`Plan`].
+//! 3. **Caching** ([`cache`]) — plans keyed by fingerprint, hit/miss
+//!    accounted, persistable as JSON so the next process skips planning.
+//!
+//! ```
+//! use hpsparse_autotune::{PlanCache, Planner, PlanStrategy, GraphFingerprint, OpKind};
+//! use hpsparse_sim::DeviceSpec;
+//! use hpsparse_sparse::Hybrid;
+//!
+//! let s = Hybrid::from_triplets(4, 4, &[(0, 1, 1.0), (2, 3, 2.0)]).unwrap();
+//! let v100 = DeviceSpec::v100();
+//! let mut planner = Planner::new(v100.clone(), PlanStrategy::Heuristic);
+//! let mut cache = PlanCache::new();
+//!
+//! let fp = GraphFingerprint::of(&s, 64, &v100);
+//! let plan = match cache.get(OpKind::Spmm, fp.key()) {
+//!     Some(plan) => plan.clone(),
+//!     None => {
+//!         let plan = planner.plan_spmm(&s, 64);
+//!         cache.insert(OpKind::Spmm, fp.key(), fp.canonical_encoding(), plan.clone());
+//!         plan
+//!     }
+//! };
+//! println!("{}: {}", plan.kernel_id, plan.rationale);
+//! ```
+
+pub mod cache;
+pub mod candidates;
+pub mod cost;
+pub mod fingerprint;
+pub mod planner;
+
+pub use cache::{CachedPlan, PlanCache};
+pub use candidates::{
+    instantiate_sddmm, instantiate_spmm, sddmm_candidates, spmm_candidates, Candidate,
+};
+pub use cost::{sddmm_cost, spmm_cost};
+pub use fingerprint::GraphFingerprint;
+pub use planner::{measurement_features, OpKind, Plan, PlanStrategy, Planner};

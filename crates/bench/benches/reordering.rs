@@ -28,9 +28,11 @@ fn bench_reorderers(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("method", "gnnadvisor"), &(), |b, ()| {
         b.iter(|| advisor_reorder(&g))
     });
-    group.bench_with_input(BenchmarkId::new("method", "lsh_pair_merge"), &(), |b, ()| {
-        b.iter(|| lsh_pair_merge_reorder(&g, 1024))
-    });
+    group.bench_with_input(
+        BenchmarkId::new("method", "lsh_pair_merge"),
+        &(),
+        |b, ()| b.iter(|| lsh_pair_merge_reorder(&g, 1024)),
+    );
     group.finish();
 }
 

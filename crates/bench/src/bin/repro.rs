@@ -19,6 +19,7 @@
 //!   bell     Blocked-ELL vs hybrid CSR/COO across structures (extension)
 //!   fused    FusedMM vs unfused pipeline (extension)
 //!   table5   end-to-end GNN training
+//!   autotune kernel-planner evaluation: oracle match + plan cache (extension)
 //!   formats  §II storage-format comparison
 //!   profile  Nsight-style kernel profiles on Flickr
 //!   datasets Table II stand-in verification
@@ -26,8 +27,8 @@
 //! ```
 
 use hpsparse_bench::experiments::{
-    ablation, datasets_table, endtoend, extensions, formats, fullgraph, kernel_profile, ksweep,
-    preprocessing, reordering, sampling, summary, variance, Effort, ExperimentOutput,
+    ablation, autotune, datasets_table, endtoend, extensions, formats, fullgraph, kernel_profile,
+    ksweep, preprocessing, reordering, sampling, summary, variance, Effort, ExperimentOutput,
 };
 use hpsparse_sim::DeviceSpec;
 
@@ -44,7 +45,10 @@ fn main() {
             "--quick" => effort = Effort::Quick,
             "--full" => effort = Effort::Full,
             "--json" => {
-                json_dir = Some(it.next().unwrap_or_else(|| usage("--json needs a directory")))
+                json_dir = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--json needs a directory")),
+                )
             }
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
@@ -56,8 +60,23 @@ fn main() {
     }
     if wanted.iter().any(|w| w == "all") {
         wanted = [
-            "formats", "fig9", "fig9a30", "fig10", "table3", "table4", "tcgnn", "reorder",
-            "fig11", "fig12", "fig13", "alpha", "futurework", "bell", "fused", "table5",
+            "formats",
+            "fig9",
+            "fig9a30",
+            "fig10",
+            "table3",
+            "table4",
+            "tcgnn",
+            "reorder",
+            "fig11",
+            "fig12",
+            "fig13",
+            "alpha",
+            "futurework",
+            "bell",
+            "fused",
+            "table5",
+            "autotune",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -68,7 +87,10 @@ fn main() {
         let started = std::time::Instant::now();
         let out = dispatch(name, effort);
         println!("{}", out.text);
-        eprintln!("[{name} finished in {:.1}s]\n", started.elapsed().as_secs_f64());
+        eprintln!(
+            "[{name} finished in {:.1}s]\n",
+            started.elapsed().as_secs_f64()
+        );
         if let Some(dir) = &json_dir {
             std::fs::create_dir_all(dir).expect("create json dir");
             let path = format!("{dir}/{}.json", out.id);
@@ -105,6 +127,7 @@ fn dispatch(name: &str, effort: Effort) -> ExperimentOutput {
         "bell" => extensions::run_bell(effort),
         "fused" => extensions::run_fused(effort),
         "table5" => endtoend::run(effort),
+        "autotune" => autotune::run(&DeviceSpec::v100(), effort, K),
         "formats" => formats::run(effort, K),
         "profile" => kernel_profile::run(effort, K),
         "datasets" => datasets_table::run(effort),
@@ -119,7 +142,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: repro [--quick|--full] [--json DIR] <experiment>...\n\
          experiments: fig9 fig9a30 fig10 table3 table4 tcgnn reorder fig11 \
-         fig12 fig13 alpha futurework bell fused table5 formats profile datasets all"
+         fig12 fig13 alpha futurework bell fused table5 autotune formats profile datasets all"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

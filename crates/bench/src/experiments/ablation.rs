@@ -83,7 +83,15 @@ pub fn run(effort: Effort, k: usize) -> ExperimentOutput {
          hybrid-parallel base configuration)\n\n{}",
         device.name,
         table::render(
-            &["Graph", "base ms", "+DTP", "+HVMA", "+DTP+HVMA", "+GCR", "+all"],
+            &[
+                "Graph",
+                "base ms",
+                "+DTP",
+                "+HVMA",
+                "+DTP+HVMA",
+                "+GCR",
+                "+all"
+            ],
             &rows
         )
     );
@@ -112,10 +120,13 @@ pub fn alpha_sweep(effort: Effort, k: usize) -> ExperimentOutput {
             let cfg = HpConfig::auto_with_alpha(&device, nnz, m, k, alpha);
             let ms = run_variant(&device, &g, k, cfg);
             row.push(format!("{} (npw {})", table::ms(ms), cfg.nnz_per_warp));
-            entry.insert(format!("alpha_{alpha}"), json!({
-                "ms": ms,
-                "nnz_per_warp": cfg.nnz_per_warp,
-            }));
+            entry.insert(
+                format!("alpha_{alpha}"),
+                json!({
+                    "ms": ms,
+                    "nnz_per_warp": cfg.nnz_per_warp,
+                }),
+            );
         }
         entry.insert("graph".into(), json!(name));
         rows.push(row);

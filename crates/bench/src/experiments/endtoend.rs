@@ -26,10 +26,34 @@ struct Workload {
 }
 
 const WORKLOADS: [Workload; 4] = [
-    Workload { framework: "DGL", model: "GCN", dataset: "arxiv", layers: 8, sampling: false },
-    Workload { framework: "DGL", model: "GraphSAINT", dataset: "Amazon", layers: 4, sampling: true },
-    Workload { framework: "PyG", model: "GCN", dataset: "Flickr", layers: 4, sampling: false },
-    Workload { framework: "PyG", model: "GraphSAINT", dataset: "Yelp", layers: 3, sampling: true },
+    Workload {
+        framework: "DGL",
+        model: "GCN",
+        dataset: "arxiv",
+        layers: 8,
+        sampling: false,
+    },
+    Workload {
+        framework: "DGL",
+        model: "GraphSAINT",
+        dataset: "Amazon",
+        layers: 4,
+        sampling: true,
+    },
+    Workload {
+        framework: "PyG",
+        model: "GCN",
+        dataset: "Flickr",
+        layers: 4,
+        sampling: false,
+    },
+    Workload {
+        framework: "PyG",
+        model: "GraphSAINT",
+        dataset: "Yelp",
+        layers: 3,
+        sampling: true,
+    },
 ];
 
 /// Hidden sizes swept per workload.
@@ -96,7 +120,11 @@ pub fn run(effort: Effort) -> ExperimentOutput {
                     "{}/{}/{}",
                     w.model,
                     w.dataset,
-                    if w.sampling { "graph-sampling" } else { "full-graph" }
+                    if w.sampling {
+                        "graph-sampling"
+                    } else {
+                        "full-graph"
+                    }
                 ),
                 hidden.to_string(),
                 table::ms(base.total_ms),

@@ -32,7 +32,9 @@ pub fn run_futurework(effort: Effort) -> ExperimentOutput {
     for k in [64usize, 128, 256, 512] {
         let a = bench_features(s.cols(), k);
         let wide = HpSpmm::auto(&device, &s, k).run(&device, &s, &a).unwrap();
-        let lean = HpSpmmLean::auto(&device, &s, k).run(&device, &s, &a).unwrap();
+        let lean = HpSpmmLean::auto(&device, &s, k)
+            .run(&device, &s, &a)
+            .unwrap();
         rows.push(vec![
             k.to_string(),
             table::ms(wide.exec_ms()),
@@ -56,7 +58,14 @@ pub fn run_futurework(effort: Effort) -> ExperimentOutput {
          occupancy to registers)\n",
         device.name,
         table::render(
-            &["K", "HP ms", "HP occ", "lean ms", "lean occ", "lean speedup"],
+            &[
+                "K",
+                "HP ms",
+                "HP occ",
+                "lean ms",
+                "lean occ",
+                "lean speedup"
+            ],
             &rows
         )
     );
@@ -146,7 +155,13 @@ pub fn run_bell(effort: Effort) -> ExperimentOutput {
          irregular graphs, the reason GNN frameworks stay on CSR/COO)\n",
         device.name,
         table::render(
-            &["Structure", "Block fill", "HP ms", "Blocked-ELL ms", "HP speedup"],
+            &[
+                "Structure",
+                "Block fill",
+                "HP ms",
+                "Blocked-ELL ms",
+                "HP speedup"
+            ],
             &rows
         )
     );
@@ -176,15 +191,16 @@ pub fn run_fused(effort: Effort) -> ExperimentOutput {
         let fused = FusedMm::auto(&device, &s, k)
             .run(&device, &s, &a1, &a2t, &h)
             .unwrap();
-        let sd = HpSddmm::auto(&device, &s, k).run(&device, &s, &a1, &a2t).unwrap();
+        let sd = HpSddmm::auto(&device, &s, k)
+            .run(&device, &s, &a1, &a2t)
+            .unwrap();
         let mut scored = s.clone();
         scored.set_values(sd.output_values.clone());
         let sp = HpSpmm::auto(&device, &scored, k)
             .run(&device, &scored, &h)
             .unwrap();
         let unfused_ms = sd.exec_ms() + sp.exec_ms();
-        let working_set_mb =
-            2.0 * s.cols() as f64 * k as f64 * 4.0 / (1024.0 * 1024.0);
+        let working_set_mb = 2.0 * s.cols() as f64 * k as f64 * 4.0 / (1024.0 * 1024.0);
         rows.push(vec![
             k.to_string(),
             format!("{working_set_mb:.1}"),
@@ -208,7 +224,13 @@ pub fn run_fused(effort: Effort) -> ExperimentOutput {
         s.nnz(),
         device.name,
         table::render(
-            &["K", "hot set MB", "unfused ms", "FusedMM ms", "fused speedup"],
+            &[
+                "K",
+                "hot set MB",
+                "unfused ms",
+                "FusedMM ms",
+                "fused speedup"
+            ],
             &rows
         )
     );
@@ -244,7 +266,10 @@ mod tests {
     fn bell_fill_ratio_orders_structures() {
         let out = run_bell(Effort::Quick);
         let rows = out.json["rows"].as_array().unwrap();
-        let fill: Vec<f64> = rows.iter().map(|r| r["fill_ratio"].as_f64().unwrap()).collect();
+        let fill: Vec<f64> = rows
+            .iter()
+            .map(|r| r["fill_ratio"].as_f64().unwrap())
+            .collect();
         assert!(
             fill[0] > fill[2],
             "block-dense should fill better than power-law: {fill:?}"

@@ -3,8 +3,8 @@
 
 use crate::experiments::{Effort, ExperimentOutput};
 use crate::runner::{
-    geomean, operands, sddmm_contenders, spmm_contenders, time_hp_sddmm, time_hp_spmm,
-    time_sddmm, time_spmm,
+    geomean, operands, sddmm_contenders, spmm_contenders, time_hp_sddmm, time_hp_spmm, time_sddmm,
+    time_spmm,
 };
 use crate::table;
 use hpsparse_datasets::full_graph_dataset;
@@ -121,11 +121,14 @@ pub fn render(device: &DeviceSpec, k: usize, records: &[GraphRecord]) -> Experim
         })
         .collect();
 
-    let spmm_header: Vec<String> =
-        ["Graph".to_string(), "NNZ".to_string(), "HP-SpMM ms".to_string()]
-            .into_iter()
-            .chain(spmm_names.iter().map(|n| format!("{n} ms (speedup)")))
-            .collect();
+    let spmm_header: Vec<String> = [
+        "Graph".to_string(),
+        "NNZ".to_string(),
+        "HP-SpMM ms".to_string(),
+    ]
+    .into_iter()
+    .chain(spmm_names.iter().map(|n| format!("{n} ms (speedup)")))
+    .collect();
     let sddmm_header: Vec<String> = ["Graph".to_string(), "HP-SDDMM ms".to_string()]
         .into_iter()
         .chain(sddmm_names.iter().map(|n| format!("{n} ms (speedup)")))

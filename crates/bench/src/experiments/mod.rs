@@ -1,6 +1,7 @@
 //! One module per paper artefact; the experiment index lives in DESIGN.md.
 
 pub mod ablation;
+pub mod autotune;
 pub mod datasets_table;
 pub mod endtoend;
 pub mod extensions;

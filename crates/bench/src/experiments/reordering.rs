@@ -10,7 +10,9 @@ use crate::experiments::{Effort, ExperimentOutput};
 use crate::runner::{bench_features, time_hp_spmm};
 use crate::table;
 use hpsparse_datasets::registry::by_name;
-use hpsparse_reorder::{advisor_reorder, avg_neighbor_distance, gcr_reorder, lsh_pair_merge_reorder};
+use hpsparse_reorder::{
+    advisor_reorder, avg_neighbor_distance, gcr_reorder, lsh_pair_merge_reorder,
+};
 use hpsparse_sim::DeviceSpec;
 use hpsparse_sparse::Graph;
 use serde_json::json;

@@ -8,8 +8,8 @@
 
 use crate::experiments::{Effort, ExperimentOutput};
 use crate::runner::{
-    geomean, operands, sddmm_contenders, spmm_contenders, time_hp_sddmm, time_hp_spmm,
-    time_sddmm, time_spmm,
+    geomean, operands, sddmm_contenders, spmm_contenders, time_hp_sddmm, time_hp_spmm, time_sddmm,
+    time_spmm,
 };
 use crate::table;
 use hpsparse_datasets::sampling_corpus;
@@ -37,8 +37,7 @@ impl BaselineStats {
         if self.speedups.is_empty() {
             return 0.0;
         }
-        self.speedups.iter().filter(|&&s| s >= 1.0).count() as f64
-            / self.speedups.len() as f64
+        self.speedups.iter().filter(|&&s| s >= 1.0).count() as f64 / self.speedups.len() as f64
     }
 }
 

@@ -15,8 +15,8 @@ pub fn run(effort: Effort, k: usize) -> ExperimentOutput {
 
     // Collect per-device results.
     struct DeviceResults {
-        fg: Vec<(String, bool, f64)>,        // (kernel, is_spmm, avg speedup)
-        gs: Vec<(String, bool, f64, f64)>,   // (kernel, is_spmm, avg, win rate)
+        fg: Vec<(String, bool, f64)>,      // (kernel, is_spmm, avg speedup)
+        gs: Vec<(String, bool, f64, f64)>, // (kernel, is_spmm, avg, win rate)
     }
     let mut per_device = Vec::new();
     for device in &devices {

@@ -72,7 +72,14 @@ pub fn run(effort: Effort, k: usize) -> ExperimentOutput {
          (paper: 0.90)\n",
         device.name,
         table::render(
-            &["Graph", "Avg deg", "Std dev", "HP ms", "GE-SpMM ms", "Speedup"],
+            &[
+                "Graph",
+                "Avg deg",
+                "Std dev",
+                "HP ms",
+                "GE-SpMM ms",
+                "Speedup"
+            ],
             &rows
         ),
         r

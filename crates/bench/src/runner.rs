@@ -1,17 +1,13 @@
 //! Kernel execution helpers shared by the experiments.
 
-use hpsparse_core::baselines::{
-    CusparseCooAlg4, CusparseCsrAlg2, CusparseCsrAlg3, CusparseCsrSddmm, DglSddmm, GeSpmm,
-    RowSplit,
-};
+use hpsparse_core::baselines::{sddmm_by_id, spmm_by_id};
 use hpsparse_core::hp::{HpSddmm, HpSpmm};
 use hpsparse_core::traits::{SddmmKernel, SpmmKernel};
 use hpsparse_sim::DeviceSpec;
 use hpsparse_sparse::{Dense, Graph, Hybrid};
-use serde::Serialize;
 
 /// One kernel's timing on one input.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct KernelTiming {
     /// Kernel name (paper's labels).
     pub kernel: String,
@@ -28,18 +24,24 @@ pub struct KernelTiming {
 /// The SpMM baselines of Fig. 9/10 (ours is run separately so callers can
 /// position it first).
 pub fn spmm_contenders() -> Vec<Box<dyn SpmmKernel>> {
-    vec![
-        Box::new(CusparseCsrAlg2),
-        Box::new(CusparseCsrAlg3),
-        Box::new(CusparseCooAlg4),
-        Box::new(GeSpmm),
-        Box::new(RowSplit),
+    [
+        "cusparse-csr-alg2",
+        "cusparse-csr-alg3",
+        "cusparse-coo-alg4",
+        "gespmm",
+        "row-split",
     ]
+    .iter()
+    .map(|id| spmm_by_id(id).expect("paper contender ids are registered"))
+    .collect()
 }
 
 /// The SDDMM baselines of Fig. 9/10.
 pub fn sddmm_contenders() -> Vec<Box<dyn SddmmKernel>> {
-    vec![Box::new(DglSddmm), Box::new(CusparseCsrSddmm)]
+    ["dgl-sddmm", "cusparse-csr-sddmm"]
+        .iter()
+        .map(|id| sddmm_by_id(id).expect("paper contender ids are registered"))
+        .collect()
 }
 
 /// Deterministic feature matrix for kernel benchmarks.
@@ -48,8 +50,15 @@ pub fn bench_features(rows: usize, k: usize) -> Dense {
 }
 
 /// Runs one SpMM kernel cold and converts its run into a [`KernelTiming`].
-pub fn time_spmm(kernel: &dyn SpmmKernel, device: &DeviceSpec, s: &Hybrid, a: &Dense) -> KernelTiming {
-    let run = kernel.run(device, s, a).expect("benchmark shapes are valid");
+pub fn time_spmm(
+    kernel: &dyn SpmmKernel,
+    device: &DeviceSpec,
+    s: &Hybrid,
+    a: &Dense,
+) -> KernelTiming {
+    let run = kernel
+        .run(device, s, a)
+        .expect("benchmark shapes are valid");
     let flops = 2.0 * s.nnz() as f64 * a.cols() as f64;
     KernelTiming {
         kernel: kernel.name().to_string(),
@@ -81,10 +90,7 @@ pub fn time_sddmm(
     KernelTiming {
         kernel: kernel.name().to_string(),
         exec_ms: run.exec_ms(),
-        preprocess_ms: run
-            .preprocess
-            .as_ref()
-            .map_or(0.0, |p| p.time_ms),
+        preprocess_ms: run.preprocess.as_ref().map_or(0.0, |p| p.time_ms),
         gflops: flops / (run.exec_ms() * 1e6),
         l2_hit_rate: run.report.l2_hit_rate,
     }
@@ -124,8 +130,7 @@ mod tests {
         assert!(spmm.contains(&"cuSPARSE(CSR,ALG2)".to_string()));
         assert!(spmm.contains(&"GE-SpMM".to_string()));
         assert!(spmm.contains(&"Row-split".to_string()));
-        let sddmm: Vec<String> =
-            sddmm_contenders().iter().map(|k| k.name().into()).collect();
+        let sddmm: Vec<String> = sddmm_contenders().iter().map(|k| k.name().into()).collect();
         assert!(sddmm.contains(&"DGL-SDDMM".to_string()));
     }
 

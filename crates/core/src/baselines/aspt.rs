@@ -56,8 +56,9 @@ impl SpmmKernel for Aspt {
                 tally.global_read(src.elem_addr(base % (nnz as u64 * 2).max(1), 4), 128, 1);
                 // Scattered writes into panel order.
                 tally.global_gather(
-                    (0..32u64)
-                        .map(|lane| dst.elem_addr((base + lane * 977) % (nnz as u64 * 2).max(1), 4)),
+                    (0..32u64).map(|lane| {
+                        dst.elem_addr((base + lane * 977) % (nnz as u64 * 2).max(1), 4)
+                    }),
                     4,
                 );
             },

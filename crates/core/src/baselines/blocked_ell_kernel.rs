@@ -75,9 +75,10 @@ impl SpmmKernel for CusparseBlockedEll {
                 4,
             );
             tally.shared_op((b * b) as u64 / 32 + 1);
-            // One feature-row read per block column, one output-tile
-            // accumulation per block row.
-            for lc in 0..b {
+            // One feature-row read per block column (clamped: edge blocks
+            // of a matrix narrower than `b` have fewer real columns), one
+            // output-tile accumulation per block row.
+            for lc in 0..b.min(a.rows()) {
                 tally.global_read(a_buf.elem_addr((lc * k) as u64, 4), k as u64 * 4, 2);
                 tally.compute((k as u64).div_ceil(32) * b as u64 / 8 + 1);
             }

@@ -391,8 +391,7 @@ mod tests {
         let a = Dense::from_fn(16, 64, |i, j| (i + j) as f32);
         let tasks = whole_row_tasks(&csr, None);
         let mut sim = GpuSim::new(DeviceSpec::v100());
-        let (_, coalesced) =
-            run_row_warp_spmm(&mut sim, &csr, &a, &tasks, &RowWarpSpec::default());
+        let (_, coalesced) = run_row_warp_spmm(&mut sim, &csr, &a, &tasks, &RowWarpSpec::default());
         let mut sim2 = GpuSim::new(DeviceSpec::v100());
         let (_, gathered) = run_row_warp_spmm(
             &mut sim2,

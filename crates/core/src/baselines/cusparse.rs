@@ -9,10 +9,10 @@
 //! the CSR SDDMM walks `A2` column-wise (`K × N` layout, §II's Algorithm 2
 //! indexing), which is why the paper beats it by an order of magnitude.
 
-use crate::baselines::common::{
-    merge_reports, run_row_warp_spmm, split_row_tasks, RowWarpSpec,
+use crate::baselines::common::{merge_reports, run_row_warp_spmm, split_row_tasks, RowWarpSpec};
+use crate::traits::{
+    check_sddmm_dims, check_spmm_dims, SddmmKernel, SddmmRun, SpmmKernel, SpmmRun,
 };
-use crate::traits::{check_sddmm_dims, check_spmm_dims, SddmmKernel, SddmmRun, SpmmKernel, SpmmRun};
 use hpsparse_sim::{GpuSim, KernelResources, LaunchConfig};
 use hpsparse_sparse::{Dense, FormatError, Hybrid};
 
@@ -343,12 +343,7 @@ impl SddmmKernel for CusparseCsrSddmm {
                     let c = col_ind[j] as usize;
                     tally.shuffle_reduce(32);
                     tally.global_write(so_buf.elem_addr(j as u64, 4), 4, 1);
-                    let dot: f32 = a1
-                        .row(r)
-                        .iter()
-                        .zip(a2t.row(c))
-                        .map(|(x, y)| x * y)
-                        .sum();
+                    let dot: f32 = a1.row(r).iter().zip(a2t.row(c)).map(|(x, y)| x * y).sum();
                     out[j] = dot * values[j];
                 }
                 i += tile_len;
@@ -440,7 +435,9 @@ mod tests {
         let a2t = Dense::from_fn(500, 64, |i, j| (i * 2 + j) as f32);
         let v100 = DeviceSpec::v100();
         let cus = CusparseCsrSddmm.run(&v100, &s, &a1, &a2t).unwrap();
-        let hp = HpSddmm::auto(&v100, &s, 64).run(&v100, &s, &a1, &a2t).unwrap();
+        let hp = HpSddmm::auto(&v100, &s, 64)
+            .run(&v100, &s, &a1, &a2t)
+            .unwrap();
         assert!(
             cus.report.totals.transactions > 3 * hp.report.totals.transactions,
             "cusparse {} vs hp {}",

@@ -116,14 +116,15 @@ mod tests {
     fn reads_more_a1_bytes_than_hp_on_clustered_rows() {
         // 64 edges all in one row: DGL loads A1[0] 64 times; HP once per
         // warp.
-        let triplets: Vec<(u32, u32, f32)> =
-            (0..64u32).map(|c| (0, c, 1.0)).collect();
+        let triplets: Vec<(u32, u32, f32)> = (0..64u32).map(|c| (0, c, 1.0)).collect();
         let s = Hybrid::from_triplets(64, 64, &triplets).unwrap();
         let a1 = Dense::from_fn(64, 64, |i, j| (i + j) as f32);
         let a2t = Dense::from_fn(64, 64, |i, j| (i * 2 + j) as f32);
         let v100 = DeviceSpec::v100();
         let dgl = DglSddmm.run(&v100, &s, &a1, &a2t).unwrap();
-        let hp = HpSddmm::auto(&v100, &s, 64).run(&v100, &s, &a1, &a2t).unwrap();
+        let hp = HpSddmm::auto(&v100, &s, 64)
+            .run(&v100, &s, &a1, &a2t)
+            .unwrap();
         assert!(
             dgl.report.totals.global_bytes > hp.report.totals.global_bytes,
             "dgl {} vs hp {}",

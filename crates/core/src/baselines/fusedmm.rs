@@ -97,7 +97,8 @@ impl FusedMm {
         let resources = KernelResources {
             warps_per_block: cfg.warps_per_block,
             // Keeps A1[r] *and* the aggregation accumulators in registers.
-            registers_per_thread: (32 + (k / 32).max(1) as u32 * 4
+            registers_per_thread: (32
+                + (k / 32).max(1) as u32 * 4
                 + (k_out / 32).max(1) as u32 * 4)
                 .min(255),
             shared_mem_per_block: 3 * 32 * vw * 4 * cfg.warps_per_block,
@@ -137,31 +138,18 @@ impl FusedMm {
                             }
                         }
                         // Load A1[r] once per row run.
-                        tally.global_read(
-                            a1_buf.elem_addr((r * k) as u64, 4),
-                            k as u64 * 4,
-                            vw,
-                        );
+                        tally.global_read(a1_buf.elem_addr((r * k) as u64, 4), k as u64 * 4, vw);
                         cur_row = r;
                     }
                     // Score: dot(A1[r], A2T[c]) — one A2 row read + reduce.
                     tally.global_read(a2_buf.elem_addr((c * k) as u64, 4), k as u64 * 4, vw);
                     tally.compute((k as u64).div_ceil(32).max(1));
                     tally.shuffle_reduce(32);
-                    let dot: f32 = a1
-                        .row(r)
-                        .iter()
-                        .zip(a2t.row(c))
-                        .map(|(x, y)| x * y)
-                        .sum();
+                    let dot: f32 = a1.row(r).iter().zip(a2t.row(c)).map(|(x, y)| x * y).sum();
                     let e = dot * values[j];
                     scores[j] = e;
                     // Aggregate immediately: res += e * H[c].
-                    tally.global_read(
-                        h_buf.elem_addr((c * k_out) as u64, 4),
-                        k_out as u64 * 4,
-                        vw,
-                    );
+                    tally.global_read(h_buf.elem_addr((c * k_out) as u64, 4), k_out as u64 * 4, vw);
                     tally.compute((k_out as u64).div_ceil(32).max(1));
                     let h_row = h.row(c);
                     for (slot, &hv) in res.iter_mut().zip(h_row) {
@@ -247,7 +235,9 @@ mod tests {
             .run(&v100, &s, &a1, &a2t, &h)
             .unwrap();
         // Unfused: HP-SDDMM writes S_O, then HP-SpMM re-reads everything.
-        let sd = HpSddmm::auto(&v100, &s, 32).run(&v100, &s, &a1, &a2t).unwrap();
+        let sd = HpSddmm::auto(&v100, &s, 32)
+            .run(&v100, &s, &a1, &a2t)
+            .unwrap();
         let mut scored = s.clone();
         scored.set_values(sd.output_values);
         let sp = HpSpmm::auto(&v100, &scored, 16)

@@ -7,9 +7,7 @@
 //! pass itself — the slowest preprocessing in the paper's Table IV
 //! (73 ms on AM, 28× its own execution time).
 
-use crate::baselines::common::{
-    host_pass_report, run_row_warp_spmm, split_row_tasks, RowWarpSpec,
-};
+use crate::baselines::common::{host_pass_report, run_row_warp_spmm, split_row_tasks, RowWarpSpec};
 use crate::traits::{check_spmm_dims, SpmmKernel, SpmmRun};
 use hpsparse_sim::GpuSim;
 use hpsparse_sparse::{Dense, FormatError, Hybrid};
@@ -65,8 +63,7 @@ mod tests {
     #[test]
     fn matches_reference_with_grouped_rows() {
         // One huge row so grouping definitely kicks in.
-        let mut triplets: Vec<(u32, u32, f32)> =
-            (0..500u32).map(|c| (0, c, 1.0)).collect();
+        let mut triplets: Vec<(u32, u32, f32)> = (0..500u32).map(|c| (0, c, 1.0)).collect();
         triplets.extend((1..100u32).map(|r| (r, r, 2.0)));
         let s = Hybrid::from_triplets(100, 500, &triplets).unwrap();
         let a = Dense::from_fn(500, 16, |i, j| ((i + j) as f32 * 0.01).cos());
@@ -77,8 +74,7 @@ mod tests {
 
     #[test]
     fn grouping_balances_better_than_node_parallel() {
-        let mut triplets: Vec<(u32, u32, f32)> =
-            (0..2000u32).map(|c| (0, c % 2000, 1.0)).collect();
+        let mut triplets: Vec<(u32, u32, f32)> = (0..2000u32).map(|c| (0, c % 2000, 1.0)).collect();
         triplets.extend((1..512u32).map(|r| (r, r % 2000, 1.0)));
         let s = Hybrid::from_triplets(512, 2000, &triplets).unwrap();
         let a = Dense::from_fn(2000, 64, |i, j| (i + j) as f32);

@@ -8,7 +8,6 @@
 //! paper's point: the balance is bought with a preprocessing launch that
 //! dynamic graph-sampling workloads cannot amortise (Table IV).
 
-
 use crate::hp::config::HpConfig;
 use crate::hp::spmm::HpSpmm;
 use crate::traits::{check_spmm_dims, SpmmKernel, SpmmRun};
@@ -58,8 +57,8 @@ impl SpmmKernel for MergePath {
                 for step in 0..log_m {
                     tally.global_gather(
                         (0..32u64).map(|lane| {
-                            let probe = ((warp_id * 32 + lane) * 6151 + step * 3079)
-                                % (m as u64 + 1);
+                            let probe =
+                                ((warp_id * 32 + lane) * 6151 + step * 3079) % (m as u64 + 1);
                             off_buf.elem_addr(probe, 4)
                         }),
                         4,
@@ -104,17 +103,22 @@ mod tests {
         let s = Hybrid::from_triplets(300, 300, &triplets).unwrap();
         let a = Dense::from_fn(300, 32, |i, j| ((i + 2 * j) as f32 * 0.01).cos());
         let expected = reference::spmm(&s, &a).unwrap();
-        let run = MergePath::default().run(&DeviceSpec::v100(), &s, &a).unwrap();
+        let run = MergePath::default()
+            .run(&DeviceSpec::v100(), &s, &a)
+            .unwrap();
         assert!(run.output.approx_eq(&expected, 1e-4, 1e-5));
-        let pre = run.preprocess.expect("merge-path must report preprocessing");
+        let pre = run
+            .preprocess
+            .expect("merge-path must report preprocessing");
         assert!(pre.cycles > 0);
         assert!(run.report.cycles > 0);
     }
 
     #[test]
     fn preprocessing_scales_with_nnz() {
-        let small: Vec<(u32, u32, f32)> =
-            (0..1000u32).map(|i| (i % 100, (i * 3) % 100, 1.0)).collect();
+        let small: Vec<(u32, u32, f32)> = (0..1000u32)
+            .map(|i| (i % 100, (i * 3) % 100, 1.0))
+            .collect();
         let large: Vec<(u32, u32, f32)> = (0..20_000u32)
             .map(|i| (i % 100, (i * 3 + i / 100) % 100, 1.0))
             .collect();

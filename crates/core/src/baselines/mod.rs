@@ -30,6 +30,7 @@ pub mod fusedmm;
 pub mod gespmm;
 pub mod huang;
 pub mod mergepath;
+pub mod registry;
 pub mod rowsplit;
 pub mod sputnik;
 pub mod tcgnn;
@@ -42,6 +43,7 @@ pub use fusedmm::{FusedMm, FusedRun};
 pub use gespmm::GeSpmm;
 pub use huang::Huang;
 pub use mergepath::MergePath;
+pub use registry::{all_sddmm, all_spmm, sddmm_by_id, spmm_by_id, SDDMM_IDS, SPMM_IDS};
 pub use rowsplit::RowSplit;
 pub use sputnik::Sputnik;
 pub use tcgnn::TcGnn;

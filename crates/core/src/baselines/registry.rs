@@ -1,0 +1,128 @@
+//! Kernel registry: every baseline under a stable string id.
+//!
+//! The autotuning planner (`hpsparse-autotune`) enumerates candidates from
+//! here and persists chosen kernels by id, so the ids are a compatibility
+//! surface: renaming one invalidates previously saved plan caches. Keep
+//! them lowercase-kebab and append-only.
+
+use crate::baselines::{
+    Aspt, CusparseBlockedEll, CusparseCooAlg4, CusparseCsrAlg2, CusparseCsrAlg3, CusparseCsrSddmm,
+    DglSddmm, GeSpmm, Huang, MergePath, RowSplit, Sputnik, TcGnn,
+};
+use crate::traits::{SddmmKernel, SpmmKernel};
+
+/// Registry ids of every SpMM baseline, in registry order.
+pub const SPMM_IDS: [&str; 11] = [
+    "cusparse-csr-alg2",
+    "cusparse-csr-alg3",
+    "cusparse-coo-alg4",
+    "gespmm",
+    "row-split",
+    "merge-path",
+    "aspt",
+    "sputnik",
+    "huang",
+    "tcgnn",
+    "cusparse-blocked-ell",
+];
+
+/// Registry ids of every SDDMM baseline, in registry order.
+pub const SDDMM_IDS: [&str; 2] = ["dgl-sddmm", "cusparse-csr-sddmm"];
+
+/// Every SpMM baseline as `(id, kernel)`, default-configured.
+pub fn all_spmm() -> Vec<(&'static str, Box<dyn SpmmKernel>)> {
+    SPMM_IDS
+        .iter()
+        .map(|&id| (id, spmm_by_id(id).expect("SPMM_IDS entries resolve")))
+        .collect()
+}
+
+/// Every SDDMM baseline as `(id, kernel)`, default-configured.
+pub fn all_sddmm() -> Vec<(&'static str, Box<dyn SddmmKernel>)> {
+    SDDMM_IDS
+        .iter()
+        .map(|&id| (id, sddmm_by_id(id).expect("SDDMM_IDS entries resolve")))
+        .collect()
+}
+
+/// Instantiates one SpMM baseline from its registry id.
+pub fn spmm_by_id(id: &str) -> Option<Box<dyn SpmmKernel>> {
+    Some(match id {
+        "cusparse-csr-alg2" => Box::new(CusparseCsrAlg2),
+        "cusparse-csr-alg3" => Box::new(CusparseCsrAlg3),
+        "cusparse-coo-alg4" => Box::new(CusparseCooAlg4),
+        "gespmm" => Box::new(GeSpmm),
+        "row-split" => Box::new(RowSplit),
+        "merge-path" => Box::new(MergePath::default()),
+        "aspt" => Box::new(Aspt::default()),
+        "sputnik" => Box::new(Sputnik::default()),
+        "huang" => Box::new(Huang::default()),
+        "tcgnn" => Box::new(TcGnn::default()),
+        "cusparse-blocked-ell" => Box::new(CusparseBlockedEll::default()),
+        _ => return None,
+    })
+}
+
+/// Instantiates one SDDMM baseline from its registry id.
+pub fn sddmm_by_id(id: &str) -> Option<Box<dyn SddmmKernel>> {
+    Some(match id {
+        "dgl-sddmm" => Box::new(DglSddmm),
+        "cusparse-csr-sddmm" => Box::new(CusparseCsrSddmm),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_id_resolves_and_ids_are_unique() {
+        let spmm = all_spmm();
+        assert_eq!(spmm.len(), SPMM_IDS.len());
+        let mut ids: Vec<&str> = spmm.iter().map(|(id, _)| *id).collect();
+        ids.extend(SDDMM_IDS);
+        let mut dedup = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len(), "registry ids must be unique");
+        assert_eq!(all_sddmm().len(), SDDMM_IDS.len());
+    }
+
+    #[test]
+    fn unknown_ids_return_none() {
+        assert!(spmm_by_id("no-such-kernel").is_none());
+        assert!(
+            sddmm_by_id("gespmm").is_none(),
+            "SpMM id is not an SDDMM id"
+        );
+    }
+
+    #[test]
+    fn registry_kernels_carry_paper_names() {
+        let names: Vec<&str> = all_spmm().iter().map(|(_, k)| k.name()).collect();
+        assert!(names.contains(&"cuSPARSE(CSR,ALG2)"));
+        assert!(names.contains(&"GE-SpMM"));
+        assert!(names.contains(&"TC-GNN"));
+        let sddmm_names: Vec<&str> = all_sddmm().iter().map(|(_, k)| k.name()).collect();
+        assert_eq!(sddmm_names, ["DGL-SDDMM", "cuSPARSE(CSR,DEFAULT)"]);
+    }
+
+    #[test]
+    fn registry_kernels_run() {
+        use hpsparse_sim::DeviceSpec;
+        use hpsparse_sparse::{Dense, Hybrid};
+        let s = Hybrid::from_triplets(8, 8, &[(0, 1, 1.0), (3, 2, 2.0), (7, 7, 3.0)]).unwrap();
+        let a = Dense::from_fn(8, 16, |i, j| (i + j) as f32);
+        let v100 = DeviceSpec::v100();
+        for (id, kernel) in all_spmm() {
+            let run = kernel.run(&v100, &s, &a);
+            assert!(run.is_ok(), "{id} failed: {:?}", run.err());
+        }
+        let a1 = Dense::from_fn(8, 16, |i, j| (i * 2 + j) as f32);
+        for (id, kernel) in all_sddmm() {
+            let run = kernel.run(&v100, &s, &a1, &a);
+            assert!(run.is_ok(), "{id} failed: {:?}", run.err());
+        }
+    }
+}

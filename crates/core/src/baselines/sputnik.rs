@@ -8,9 +8,7 @@
 //! graph-sampling training — both effects the paper measures (Table IV:
 //! preprocessing up to 26× execution on AM).
 
-use crate::baselines::common::{
-    host_pass_report, run_row_warp_spmm, whole_row_tasks, RowWarpSpec,
-};
+use crate::baselines::common::{host_pass_report, run_row_warp_spmm, whole_row_tasks, RowWarpSpec};
 use crate::traits::{check_spmm_dims, SpmmKernel, SpmmRun};
 use hpsparse_sim::GpuSim;
 use hpsparse_sparse::{Dense, FormatError, Hybrid};
@@ -86,17 +84,18 @@ mod tests {
     fn preprocessing_grows_with_row_count() {
         let v100 = DeviceSpec::v100();
         let mk = |rows: u32| {
-            let triplets: Vec<(u32, u32, f32)> =
-                (0..rows * 4).map(|i| (i % rows, (i * 3) % rows, 1.0)).collect();
+            let triplets: Vec<(u32, u32, f32)> = (0..rows * 4)
+                .map(|i| (i % rows, (i * 3) % rows, 1.0))
+                .collect();
             Hybrid::from_triplets(rows as usize, rows as usize, &triplets).unwrap()
         };
         let a_small = Dense::from_fn(100, 16, |_, _| 1.0);
         let a_large = Dense::from_fn(10_000, 16, |_, _| 1.0);
         let r_small = Sputnik::default().run(&v100, &mk(100), &a_small).unwrap();
-        let r_large = Sputnik::default().run(&v100, &mk(10_000), &a_large).unwrap();
-        assert!(
-            r_large.preprocess.unwrap().cycles > 10 * r_small.preprocess.unwrap().cycles
-        );
+        let r_large = Sputnik::default()
+            .run(&v100, &mk(10_000), &a_large)
+            .unwrap();
+        assert!(r_large.preprocess.unwrap().cycles > 10 * r_small.preprocess.unwrap().cycles);
     }
 
     #[test]
@@ -104,9 +103,8 @@ mod tests {
         // All rows length 4 with a 64-wide tile: most of each tile is
         // padding compute, so instructions per nnz are far above a kernel
         // with a 32 tile.
-        let triplets: Vec<(u32, u32, f32)> = (0..400u32)
-            .map(|i| (i % 100, (i * 7) % 100, 1.0))
-            .collect();
+        let triplets: Vec<(u32, u32, f32)> =
+            (0..400u32).map(|i| (i % 100, (i * 7) % 100, 1.0)).collect();
         let s = Hybrid::from_triplets(100, 100, &triplets).unwrap();
         let a = Dense::from_fn(100, 32, |i, j| (i + j) as f32);
         let v100 = DeviceSpec::v100();

@@ -96,9 +96,10 @@ impl SpmmKernel for TcGnn {
                 );
             }
 
-            let tiles = cols.len().div_ceil(block_cols).max(
-                usize::from(meta_elems > 0),
-            );
+            let tiles = cols
+                .len()
+                .div_ceil(block_cols)
+                .max(usize::from(meta_elems > 0));
             for t in 0..tiles {
                 let c_lo = t * block_cols;
                 let c_hi = (c_lo + block_cols).min(cols.len());
@@ -113,9 +114,9 @@ impl SpmmKernel for TcGnn {
                     // Fetch the A fragment: one 16-float row segment per
                     // condensed column (scattered rows).
                     tally.global_gather(
-                        cols[c_lo..c_hi].iter().map(|&c| {
-                            a_buf.elem_addr((c as usize * k + k_lo) as u64, 4)
-                        }),
+                        cols[c_lo..c_hi]
+                            .iter()
+                            .map(|&c| a_buf.elem_addr((c as usize * k + k_lo) as u64, 4)),
                         k_w as u64 * 4,
                     );
                     // One TF32 MMA per (block, K-chunk).
@@ -162,7 +163,9 @@ mod tests {
         let s = Hybrid::from_triplets(300, 300, &triplets).unwrap();
         let a = Dense::from_fn(300, 32, |i, j| ((i * 32 + j) as f32 * 1e-2).sin());
         let expected = reference::spmm(&s, &a).unwrap();
-        let run = TcGnn::default().run(&DeviceSpec::rtx3090(), &s, &a).unwrap();
+        let run = TcGnn::default()
+            .run(&DeviceSpec::rtx3090(), &s, &a)
+            .unwrap();
         assert!(run.output.approx_eq(&expected, 1e-4, 1e-5));
         assert!(run.report.cycles > 0);
     }
@@ -172,8 +175,7 @@ mod tests {
         // Diagonal matrix: every 16-row window has 16 distinct columns in
         // 2 blocks, each holding at most 8 real values out of 128 slots.
         let n = 512;
-        let diag: Vec<(u32, u32, f32)> =
-            (0..n as u32).map(|i| (i, i, 1.0)).collect();
+        let diag: Vec<(u32, u32, f32)> = (0..n as u32).map(|i| (i, i, 1.0)).collect();
         let s = Hybrid::from_triplets(n, n, &diag).unwrap();
         let a = Dense::from_fn(n, 64, |i, j| (i + j) as f32);
         let dev = DeviceSpec::rtx3090();
@@ -193,7 +195,9 @@ mod tests {
     fn empty_matrix_runs() {
         let s = Hybrid::from_triplets(64, 64, &[]).unwrap();
         let a = Dense::from_fn(64, 16, |_, _| 1.0);
-        let run = TcGnn::default().run(&DeviceSpec::rtx3090(), &s, &a).unwrap();
+        let run = TcGnn::default()
+            .run(&DeviceSpec::rtx3090(), &s, &a)
+            .unwrap();
         assert!(run.output.data().iter().all(|&x| x == 0.0));
     }
 }

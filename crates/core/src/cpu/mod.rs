@@ -204,8 +204,7 @@ mod tests {
     #[test]
     fn single_long_row_hybrid_chunking() {
         // A single row split across many chunks must still sum correctly.
-        let triplets: Vec<(u32, u32, f32)> =
-            (0..500u32).map(|c| (0, c % 50, 1.0)).collect();
+        let triplets: Vec<(u32, u32, f32)> = (0..500u32).map(|c| (0, c % 50, 1.0)).collect();
         let s = Hybrid::from_triplets(3, 50, &triplets).unwrap();
         let a = Dense::from_fn(50, 8, |i, _| (i + 1) as f32);
         let expected = reference::spmm(&s, &a).unwrap();

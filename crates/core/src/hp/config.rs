@@ -94,7 +94,8 @@ impl HpConfig {
 
     /// Blocks of an HP-SpMM launch.
     pub fn spmm_blocks(&self, nnz: usize, k: usize) -> u64 {
-        self.spmm_warps(nnz, k).div_ceil(self.warps_per_block as u64)
+        self.spmm_warps(nnz, k)
+            .div_ceil(self.warps_per_block as u64)
     }
 
     /// The *naive* configuration the paper calls the common pitfall
@@ -117,8 +118,7 @@ impl HpConfig {
         // blocks = ceil(chunks·k_slices / wpb) ≥ needed
         // ⇒ npw ≤ nnz·k_slices / (needed·wpb)
         let k_slices = cfg.k_slices(k);
-        let bound =
-            (nnz as u64 * k_slices) / (needed.max(1) * cfg.warps_per_block as u64).max(1);
+        let bound = (nnz as u64 * k_slices) / (needed.max(1) * cfg.warps_per_block as u64).max(1);
         cfg.nnz_per_warp = cfg.nnz_per_warp.min((bound as usize).max(1));
         cfg
     }

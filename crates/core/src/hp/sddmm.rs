@@ -120,22 +120,13 @@ impl SddmmKernel for HpSddmm {
                     tally.global_read(a2_buf.elem_addr((c * k) as u64, 4), k as u64 * 4, vw);
                     if r != cur_row {
                         // Row switch: refresh the register copy of A1[r].
-                        tally.global_read(
-                            a1_buf.elem_addr((r * k) as u64, 4),
-                            k as u64 * 4,
-                            vw,
-                        );
+                        tally.global_read(a1_buf.elem_addr((r * k) as u64, 4), k as u64 * 4, vw);
                         cur_row = r;
                     }
                     // Lane-wise products then a 32-lane shuffle reduction.
                     tally.compute((k as u64).div_ceil(32).max(1));
                     tally.shuffle_reduce(32);
-                    let dot: f32 = a1
-                        .row(r)
-                        .iter()
-                        .zip(a2t.row(c))
-                        .map(|(x, y)| x * y)
-                        .sum();
+                    let dot: f32 = a1.row(r).iter().zip(a2t.row(c)).map(|(x, y)| x * y).sum();
                     // Lane 0 stores the masked product (4-byte store).
                     tally.global_write(so_buf.elem_addr(j as u64, 4), 4, 1);
                     out[j] = dot * values[j];
@@ -185,7 +176,9 @@ mod tests {
         let a2t = Dense::from_fn(4, 16, |i, j| ((i * 17 + j) as f32).cos());
         let expected = reference::sddmm_transposed(&s, &a1, &a2t).unwrap();
         let v100 = DeviceSpec::v100();
-        let run = HpSddmm::auto(&v100, &s, 16).run(&v100, &s, &a1, &a2t).unwrap();
+        let run = HpSddmm::auto(&v100, &s, 16)
+            .run(&v100, &s, &a1, &a2t)
+            .unwrap();
         assert_close(&run.output_values, &expected);
         assert!(run.report.cycles > 0);
     }
@@ -196,10 +189,8 @@ mod tests {
         // Matrix B: every element in its own row (an A1 load per element).
         let k = 64;
         let n = 256;
-        let one_row: Vec<(u32, u32, f32)> =
-            (0..n).map(|c| (0u32, c as u32, 1.0)).collect();
-        let diag: Vec<(u32, u32, f32)> =
-            (0..n).map(|i| (i as u32, i as u32, 1.0)).collect();
+        let one_row: Vec<(u32, u32, f32)> = (0..n).map(|c| (0u32, c as u32, 1.0)).collect();
+        let diag: Vec<(u32, u32, f32)> = (0..n).map(|i| (i as u32, i as u32, 1.0)).collect();
         let sa = Hybrid::from_triplets(n, n, &one_row).unwrap();
         let sb = Hybrid::from_triplets(n, n, &diag).unwrap();
         let a1 = Dense::from_fn(n, k, |i, j| (i + j) as f32);
@@ -228,7 +219,9 @@ mod tests {
         let a1 = Dense::from_fn(4, 8, |_, _| 1.0);
         let a2t = Dense::from_fn(4, 8, |_, _| 1.0);
         let v100 = DeviceSpec::v100();
-        let run = HpSddmm::auto(&v100, &s, 8).run(&v100, &s, &a1, &a2t).unwrap();
+        let run = HpSddmm::auto(&v100, &s, 8)
+            .run(&v100, &s, &a1, &a2t)
+            .unwrap();
         // dot = 8 for all-ones; output = 8 * value.
         let expected: Vec<f32> = s.values().iter().map(|&v| 8.0 * v).collect();
         assert_close(&run.output_values, &expected);

@@ -21,7 +21,9 @@ pub fn planted_labels(features: &Dense, classes: usize, seed: u64) -> Vec<u32> {
     assert!(classes >= 2, "need at least two classes");
     let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
     let dim = features.cols();
-    let w: Vec<f32> = (0..dim * classes).map(|_| standard_normal(&mut rng)).collect();
+    let w: Vec<f32> = (0..dim * classes)
+        .map(|_| standard_normal(&mut rng))
+        .collect();
     (0..features.rows())
         .map(|i| {
             let row = features.row(i);
@@ -60,8 +62,12 @@ mod tests {
         assert_eq!(a, b);
         let mean: f32 = a.data().iter().sum::<f32>() / a.data().len() as f32;
         assert!(mean.abs() < 0.05, "mean {mean}");
-        let var: f32 =
-            a.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / a.data().len() as f32;
+        let var: f32 = a
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / a.data().len() as f32;
         assert!((var - 1.0).abs() < 0.1, "var {var}");
     }
 

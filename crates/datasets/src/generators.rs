@@ -345,8 +345,7 @@ mod tests {
     fn triangle_proxy(g: &Graph) -> usize {
         let mut count = 0;
         for v in 0..g.num_nodes().min(200) {
-            let nbrs: std::collections::HashSet<u32> =
-                g.neighbors(v).iter().copied().collect();
+            let nbrs: std::collections::HashSet<u32> = g.neighbors(v).iter().copied().collect();
             for &u in g.neighbors(v) {
                 for &w in g.neighbors(u as usize) {
                     if nbrs.contains(&w) {

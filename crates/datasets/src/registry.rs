@@ -135,25 +135,139 @@ const fn community(communities: usize, p_in: f64, alpha: f64) -> Topology {
 pub fn full_graph_dataset() -> Vec<DatasetSpec> {
     use Source::*;
     vec![
-        DatasetSpec { name: "Flickr", source: GraphSaint, paper_nodes: 89_250, paper_edges: 989_006, topology: community(400, 0.7, 2.1) },
-        DatasetSpec { name: "Yelp", source: GraphSaint, paper_nodes: 716_847, paper_edges: 13_954_819, topology: community(800, 0.85, 2.1) },
-        DatasetSpec { name: "Amazon", source: GraphSaint, paper_nodes: 1_598_960, paper_edges: 264_339_468, topology: community(1000, 0.8, 2.0) },
-        DatasetSpec { name: "CoraFull", source: Dgl, paper_nodes: 19_793, paper_edges: 146_635, topology: community(70, 0.6, 2.4) },
-        DatasetSpec { name: "AIFB", source: Dgl, paper_nodes: 7_262, paper_edges: 44_298, topology: Topology::PowerLaw { alpha: 2.4 } },
-        DatasetSpec { name: "MUTAG", source: Dgl, paper_nodes: 27_163, paper_edges: 173_037, topology: Topology::PowerLaw { alpha: 2.5 } },
-        DatasetSpec { name: "BGS", source: Dgl, paper_nodes: 94_806, paper_edges: 656_226, topology: Topology::PowerLaw { alpha: 2.3 } },
-        DatasetSpec { name: "AM", source: Dgl, paper_nodes: 881_680, paper_edges: 7_141_524, topology: community(200, 0.3, 2.2) },
-        DatasetSpec { name: "Reddit", source: Dgl, paper_nodes: 232_965, paper_edges: 114_848_857, topology: community(500, 0.75, 2.0) },
-        DatasetSpec { name: "arxiv", source: Ogb, paper_nodes: 169_343, paper_edges: 2_484_941, topology: community(40, 0.5, 2.3) },
-        DatasetSpec { name: "proteins", source: Ogb, paper_nodes: 132_534, paper_edges: 79_255_038, topology: community(300, 0.8, 2.2) },
-        DatasetSpec { name: "products", source: Ogb, paper_nodes: 2_449_029, paper_edges: 126_167_053, topology: community(1200, 0.8, 2.1) },
-        DatasetSpec { name: "collab", source: Ogb, paper_nodes: 235_868, paper_edges: 2_171_132, topology: community(100, 0.6, 2.4) },
-        DatasetSpec { name: "ddi", source: Ogb, paper_nodes: 4_267, paper_edges: 2_140_089, topology: Topology::Uniform },
-        DatasetSpec { name: "ppa", source: Ogb, paper_nodes: 576_289, paper_edges: 43_040_151, topology: community(600, 0.8, 2.2) },
-        DatasetSpec { name: "CoauthorCS", source: GnnBench, paper_nodes: 18_333, paper_edges: 163_788, topology: community(60, 0.7, 2.5) },
-        DatasetSpec { name: "AmazonCoBuyPhoto", source: GnnBench, paper_nodes: 7_650, paper_edges: 245_812, topology: community(30, 0.7, 2.3) },
-        DatasetSpec { name: "AmazonCoBuyComputer", source: GnnBench, paper_nodes: 13_752, paper_edges: 505_474, topology: community(40, 0.7, 2.3) },
-        DatasetSpec { name: "CoauthorPhysics", source: GnnBench, paper_nodes: 34_493, paper_edges: 530_417, topology: community(80, 0.7, 2.5) },
+        DatasetSpec {
+            name: "Flickr",
+            source: GraphSaint,
+            paper_nodes: 89_250,
+            paper_edges: 989_006,
+            topology: community(400, 0.7, 2.1),
+        },
+        DatasetSpec {
+            name: "Yelp",
+            source: GraphSaint,
+            paper_nodes: 716_847,
+            paper_edges: 13_954_819,
+            topology: community(800, 0.85, 2.1),
+        },
+        DatasetSpec {
+            name: "Amazon",
+            source: GraphSaint,
+            paper_nodes: 1_598_960,
+            paper_edges: 264_339_468,
+            topology: community(1000, 0.8, 2.0),
+        },
+        DatasetSpec {
+            name: "CoraFull",
+            source: Dgl,
+            paper_nodes: 19_793,
+            paper_edges: 146_635,
+            topology: community(70, 0.6, 2.4),
+        },
+        DatasetSpec {
+            name: "AIFB",
+            source: Dgl,
+            paper_nodes: 7_262,
+            paper_edges: 44_298,
+            topology: Topology::PowerLaw { alpha: 2.4 },
+        },
+        DatasetSpec {
+            name: "MUTAG",
+            source: Dgl,
+            paper_nodes: 27_163,
+            paper_edges: 173_037,
+            topology: Topology::PowerLaw { alpha: 2.5 },
+        },
+        DatasetSpec {
+            name: "BGS",
+            source: Dgl,
+            paper_nodes: 94_806,
+            paper_edges: 656_226,
+            topology: Topology::PowerLaw { alpha: 2.3 },
+        },
+        DatasetSpec {
+            name: "AM",
+            source: Dgl,
+            paper_nodes: 881_680,
+            paper_edges: 7_141_524,
+            topology: community(200, 0.3, 2.2),
+        },
+        DatasetSpec {
+            name: "Reddit",
+            source: Dgl,
+            paper_nodes: 232_965,
+            paper_edges: 114_848_857,
+            topology: community(500, 0.75, 2.0),
+        },
+        DatasetSpec {
+            name: "arxiv",
+            source: Ogb,
+            paper_nodes: 169_343,
+            paper_edges: 2_484_941,
+            topology: community(40, 0.5, 2.3),
+        },
+        DatasetSpec {
+            name: "proteins",
+            source: Ogb,
+            paper_nodes: 132_534,
+            paper_edges: 79_255_038,
+            topology: community(300, 0.8, 2.2),
+        },
+        DatasetSpec {
+            name: "products",
+            source: Ogb,
+            paper_nodes: 2_449_029,
+            paper_edges: 126_167_053,
+            topology: community(1200, 0.8, 2.1),
+        },
+        DatasetSpec {
+            name: "collab",
+            source: Ogb,
+            paper_nodes: 235_868,
+            paper_edges: 2_171_132,
+            topology: community(100, 0.6, 2.4),
+        },
+        DatasetSpec {
+            name: "ddi",
+            source: Ogb,
+            paper_nodes: 4_267,
+            paper_edges: 2_140_089,
+            topology: Topology::Uniform,
+        },
+        DatasetSpec {
+            name: "ppa",
+            source: Ogb,
+            paper_nodes: 576_289,
+            paper_edges: 43_040_151,
+            topology: community(600, 0.8, 2.2),
+        },
+        DatasetSpec {
+            name: "CoauthorCS",
+            source: GnnBench,
+            paper_nodes: 18_333,
+            paper_edges: 163_788,
+            topology: community(60, 0.7, 2.5),
+        },
+        DatasetSpec {
+            name: "AmazonCoBuyPhoto",
+            source: GnnBench,
+            paper_nodes: 7_650,
+            paper_edges: 245_812,
+            topology: community(30, 0.7, 2.3),
+        },
+        DatasetSpec {
+            name: "AmazonCoBuyComputer",
+            source: GnnBench,
+            paper_nodes: 13_752,
+            paper_edges: 505_474,
+            topology: community(40, 0.7, 2.3),
+        },
+        DatasetSpec {
+            name: "CoauthorPhysics",
+            source: GnnBench,
+            paper_nodes: 34_493,
+            paper_edges: 530_417,
+            topology: community(80, 0.7, 2.5),
+        },
     ]
 }
 
@@ -174,9 +288,25 @@ mod tests {
         assert_eq!(all.len(), 19);
         let names: Vec<_> = all.iter().map(|d| d.name).collect();
         for expected in [
-            "Flickr", "Yelp", "Amazon", "CoraFull", "AIFB", "MUTAG", "BGS", "AM",
-            "Reddit", "arxiv", "proteins", "products", "collab", "ddi", "ppa",
-            "CoauthorCS", "AmazonCoBuyPhoto", "AmazonCoBuyComputer", "CoauthorPhysics",
+            "Flickr",
+            "Yelp",
+            "Amazon",
+            "CoraFull",
+            "AIFB",
+            "MUTAG",
+            "BGS",
+            "AM",
+            "Reddit",
+            "arxiv",
+            "proteins",
+            "products",
+            "collab",
+            "ddi",
+            "ppa",
+            "CoauthorCS",
+            "AmazonCoBuyPhoto",
+            "AmazonCoBuyComputer",
+            "CoauthorPhysics",
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
@@ -200,8 +330,8 @@ mod tests {
         // Sub-linear node scaling: the scaled graph keeps far more nodes
         // than linear scaling would (preserving hub-degree headroom) while
         // the average degree stays within an order of magnitude.
-        let linear_nodes = (amazon.paper_nodes as f64
-            * amazon.scale_factor(DEFAULT_MAX_EDGES)) as usize;
+        let linear_nodes =
+            (amazon.paper_nodes as f64 * amazon.scale_factor(DEFAULT_MAX_EDGES)) as usize;
         assert!(n > 2 * linear_nodes, "nodes {n} vs linear {linear_nodes}");
         let scaled_deg = m as f64 / n as f64;
         assert!(scaled_deg > 5.0, "scaled degree collapsed: {scaled_deg}");

@@ -17,12 +17,7 @@ use rand::{Rng, SeedableRng};
 /// Row `i`'s length is drawn from a log-normal distribution whose `sigma`
 /// sweeps from 0.05 (near-regular) to 1.5 (heavy-tailed); `mu` is set to
 /// `ln(avg) − sigma²/2` so the mean stays fixed while the variance grows.
-pub fn variance_family(
-    nodes: usize,
-    avg_degree: f64,
-    count: usize,
-    seed: u64,
-) -> Vec<Graph> {
+pub fn variance_family(nodes: usize, avg_degree: f64, count: usize, seed: u64) -> Vec<Graph> {
     assert!(count >= 1);
     assert!(avg_degree >= 1.0);
     (0..count)
@@ -68,7 +63,10 @@ fn standard_normal(rng: &mut StdRng) -> f64 {
 
 /// Degree statistics of each family member, convenient for reports.
 pub fn family_stats(family: &[Graph]) -> Vec<DegreeStats> {
-    family.iter().map(|g| DegreeStats::of(g.adjacency())).collect()
+    family
+        .iter()
+        .map(|g| DegreeStats::of(g.adjacency()))
+        .collect()
 }
 
 #[cfg(test)]

@@ -8,6 +8,10 @@
 //! both; the speedup ratio then behaves like the paper's NSys-measured
 //! total CUDA computation time.
 
+use hpsparse_autotune::{
+    instantiate_sddmm, instantiate_spmm, GraphFingerprint, OpKind, Plan, PlanCache, PlanStrategy,
+    Planner,
+};
 use hpsparse_core::baselines::{CusparseCsrAlg2, DglSddmm};
 use hpsparse_core::cpu;
 use hpsparse_core::hp::{HpSddmm, HpSpmm};
@@ -103,7 +107,9 @@ impl SparseBackend for HpBackend {
     fn sddmm(&mut self, s: &Hybrid, a1: &Dense, a2t: &Dense) -> Vec<f32> {
         let device = self.sim.device().clone();
         let kernel = HpSddmm::auto(&device, s, a1.cols());
-        let run = kernel.run_on(&mut self.sim, s, a1, a2t).expect("valid dims");
+        let run = kernel
+            .run_on(&mut self.sim, s, a1, a2t)
+            .expect("valid dims");
         self.sparse_cycles += run.report.cycles + LAUNCH_OVERHEAD_CYCLES;
         run.output_values
     }
@@ -155,14 +161,148 @@ impl SparseBackend for BaselineBackend {
     }
 
     fn spmm(&mut self, s: &Hybrid, a: &Dense) -> Dense {
-        let run = CusparseCsrAlg2.run_on(&mut self.sim, s, a).expect("valid dims");
+        let run = CusparseCsrAlg2
+            .run_on(&mut self.sim, s, a)
+            .expect("valid dims");
         self.sparse_cycles += run.report.cycles + LAUNCH_OVERHEAD_CYCLES;
         run.output
     }
 
     fn sddmm(&mut self, s: &Hybrid, a1: &Dense, a2t: &Dense) -> Vec<f32> {
-        let run = DglSddmm.run_on(&mut self.sim, s, a1, a2t).expect("valid dims");
+        let run = DglSddmm
+            .run_on(&mut self.sim, s, a1, a2t)
+            .expect("valid dims");
         self.sparse_cycles += run.report.cycles + LAUNCH_OVERHEAD_CYCLES;
+        run.output_values
+    }
+
+    fn account_dense(&mut self, cycles: u64) {
+        self.dense_cycles += cycles;
+    }
+
+    fn sparse_cycles(&self) -> u64 {
+        self.sparse_cycles
+    }
+
+    fn dense_cycles(&self) -> u64 {
+        self.dense_cycles
+    }
+
+    fn device(&self) -> &DeviceSpec {
+        self.sim.device()
+    }
+
+    fn reset_counters(&mut self) {
+        self.sparse_cycles = 0;
+        self.dense_cycles = 0;
+    }
+}
+
+/// Autotuning backend: plans the kernel on first sight of each sparse
+/// shape (via `hpsparse-autotune`), replays cached plans thereafter.
+///
+/// Execution cycles land in `sparse_cycles` exactly like the other
+/// accounting backends (exec + preprocessing + launch overhead); the cost
+/// of *planning* — the simulator runs the `Measured` strategy performs —
+/// is metered separately in [`AutoBackend::planning_cycles`], so reports
+/// can show both "steady-state speed" and "price paid to find the plan".
+pub struct AutoBackend {
+    sim: GpuSim,
+    planner: Planner,
+    cache: PlanCache,
+    sparse_cycles: u64,
+    dense_cycles: u64,
+}
+
+impl AutoBackend {
+    /// Auto backend with the default (`Measured`) planning strategy and an
+    /// empty plan cache.
+    pub fn new(device: DeviceSpec) -> Self {
+        Self::with_strategy(device, PlanStrategy::default())
+    }
+
+    /// Auto backend with an explicit planning strategy.
+    pub fn with_strategy(device: DeviceSpec, strategy: PlanStrategy) -> Self {
+        Self::with_cache(device, strategy, PlanCache::new())
+    }
+
+    /// Auto backend seeded with a pre-populated plan cache (e.g. from
+    /// [`PlanCache::load`]); shapes already in the cache replay without a
+    /// single planning simulation.
+    pub fn with_cache(device: DeviceSpec, strategy: PlanStrategy, cache: PlanCache) -> Self {
+        Self {
+            sim: GpuSim::new(device.clone()),
+            planner: Planner::new(device, strategy),
+            cache,
+            sparse_cycles: 0,
+            dense_cycles: 0,
+        }
+    }
+
+    /// The plan cache (hit/miss counters included).
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Consumes the backend and returns its cache, e.g. to persist it.
+    pub fn into_cache(self) -> PlanCache {
+        self.cache
+    }
+
+    /// Simulator kernel runs spent planning so far (0 under `Heuristic`
+    /// or when every shape hits the cache).
+    pub fn planning_sim_launches(&self) -> u64 {
+        self.planner.sim_launches()
+    }
+
+    /// Simulated cycles spent planning — kept out of `sparse_cycles`.
+    pub fn planning_cycles(&self) -> u64 {
+        self.planner.planning_cycles()
+    }
+
+    fn plan_for(&mut self, op: OpKind, s: &Hybrid, k: usize) -> Plan {
+        let fp = GraphFingerprint::of(s, k, self.sim.device());
+        if let Some(plan) = self.cache.get(op, fp.key()) {
+            return plan.clone();
+        }
+        let plan = match op {
+            OpKind::Spmm => self.planner.plan_spmm(s, k),
+            OpKind::Sddmm => self.planner.plan_sddmm(s, k),
+        };
+        self.cache
+            .insert(op, fp.key(), fp.canonical_encoding(), plan.clone());
+        plan
+    }
+}
+
+impl SparseBackend for AutoBackend {
+    fn name(&self) -> &'static str {
+        "auto"
+    }
+
+    fn spmm(&mut self, s: &Hybrid, a: &Dense) -> Dense {
+        let plan = self.plan_for(OpKind::Spmm, s, a.cols());
+        // A stale persisted cache may name a kernel this build doesn't
+        // know; fall back to the paper's selector rather than failing.
+        let kernel = instantiate_spmm(&plan.candidate())
+            .unwrap_or_else(|| Box::new(HpSpmm::auto(self.sim.device(), s, a.cols())));
+        let run = kernel.run_on(&mut self.sim, s, a).expect("valid dims");
+        self.sparse_cycles += run.report.cycles
+            + run.preprocess.as_ref().map_or(0, |p| p.cycles)
+            + LAUNCH_OVERHEAD_CYCLES;
+        run.output
+    }
+
+    fn sddmm(&mut self, s: &Hybrid, a1: &Dense, a2t: &Dense) -> Vec<f32> {
+        let plan = self.plan_for(OpKind::Sddmm, s, a1.cols());
+        let kernel = instantiate_sddmm(&plan.candidate())
+            .unwrap_or_else(|| Box::new(HpSddmm::auto(self.sim.device(), s, a1.cols())));
+        let run = kernel
+            .run_on(&mut self.sim, s, a1, a2t)
+            .expect("valid dims");
+        self.sparse_cycles += run.report.cycles
+            + run.preprocess.as_ref().map_or(0, |p| p.cycles)
+            + LAUNCH_OVERHEAD_CYCLES;
         run.output_values
     }
 
@@ -269,14 +409,60 @@ mod tests {
         let expected = reference::spmm(&s, &a).unwrap();
         let mut hp = HpBackend::new(DeviceSpec::v100());
         let mut base = BaselineBackend::new(DeviceSpec::v100());
+        let mut auto = AutoBackend::new(DeviceSpec::v100());
         let mut cpu = CpuBackend::new();
-        for b in [&mut hp as &mut dyn SparseBackend, &mut base, &mut cpu] {
+        for b in [
+            &mut hp as &mut dyn SparseBackend,
+            &mut base,
+            &mut auto,
+            &mut cpu,
+        ] {
             let got = b.spmm(&s, &a);
             assert!(got.approx_eq(&expected, 1e-4, 1e-5), "{}", b.name());
         }
         assert!(hp.sparse_cycles() > 0);
         assert!(base.sparse_cycles() > 0);
+        assert!(auto.sparse_cycles() > 0);
         assert_eq!(cpu.sparse_cycles(), 0);
+    }
+
+    #[test]
+    fn auto_backend_plans_once_and_replays_from_cache() {
+        let s = small_graph();
+        let a = Dense::from_fn(6, 16, |i, j| (i + j) as f32);
+        let mut auto = AutoBackend::new(DeviceSpec::v100());
+        auto.spmm(&s, &a);
+        let launches_after_first = auto.planning_sim_launches();
+        assert!(launches_after_first > 0, "first sight must plan");
+        assert_eq!(auto.cache().misses(), 1);
+        // Second call on the same shape: a cache hit must perform zero
+        // planning simulations.
+        auto.spmm(&s, &a);
+        assert_eq!(auto.planning_sim_launches(), launches_after_first);
+        assert_eq!(auto.cache().hits(), 1);
+        // Planning cost is metered separately from execution.
+        assert!(auto.planning_cycles() > 0);
+        auto.reset_counters();
+        assert_eq!(auto.sparse_cycles(), 0);
+        assert!(auto.planning_cycles() > 0, "reset keeps the planning meter");
+    }
+
+    #[test]
+    fn auto_backend_accepts_a_preloaded_cache() {
+        let s = small_graph();
+        let a1 = Dense::from_fn(6, 16, |i, j| ((i + j) as f32 * 0.1).cos());
+        let a2t = Dense::from_fn(6, 16, |i, j| ((i * 2 + j) as f32 * 0.1).sin());
+        let mut cold = AutoBackend::new(DeviceSpec::v100());
+        cold.sddmm(&s, &a1, &a2t);
+        let cache = cold.into_cache();
+        let mut warm = AutoBackend::with_cache(DeviceSpec::v100(), PlanStrategy::default(), cache);
+        let expected = reference::sddmm_transposed(&s, &a1, &a2t).unwrap();
+        let got = warm.sddmm(&s, &a1, &a2t);
+        for (x, y) in got.iter().zip(&expected) {
+            assert!((x - y).abs() < 1e-4);
+        }
+        assert_eq!(warm.planning_sim_launches(), 0, "preloaded plan replays");
+        assert_eq!(warm.cache().hits(), 1);
     }
 
     #[test]

@@ -29,8 +29,7 @@ impl GatLayer {
             state ^= state >> 12;
             state ^= state << 25;
             state ^= state >> 27;
-            ((state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 53) as f64
-                * 2.0
+            ((state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 53) as f64 * 2.0
                 - 1.0) as f32
                 * 0.2
         };
@@ -200,11 +199,7 @@ pub struct GatGrads {
 
 /// Backward of [`edge_softmax`] over contiguous row groups:
 /// `d_score_e = w_e (d_w_e − Σ_f w_f d_w_f)` within each row.
-pub fn edge_softmax_backward(
-    row_indices: &[u32],
-    weights: &[f32],
-    d_weights: &[f32],
-) -> Vec<f32> {
+pub fn edge_softmax_backward(row_indices: &[u32], weights: &[f32], d_weights: &[f32]) -> Vec<f32> {
     assert_eq!(row_indices.len(), weights.len());
     assert_eq!(row_indices.len(), d_weights.len());
     let mut out = vec![0f32; weights.len()];
@@ -332,7 +327,6 @@ mod tests {
 mod backward_tests {
     use super::*;
     use crate::backend::CpuBackend;
-
 
     fn graph_hybrid() -> Hybrid {
         Hybrid::from_triplets(

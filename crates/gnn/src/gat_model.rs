@@ -1,5 +1,5 @@
 //! A trainable multi-head graph attention model built on
-//! [`GatLayer`](crate::gat::GatLayer): H heads attend in parallel, their
+//! [`GatLayer`]: H heads attend in parallel, their
 //! outputs concatenate, and a linear classifier produces logits. Training
 //! it runs the paper's *both* kernels in *both* directions every step —
 //! SDDMM + SpMM forward, SDDMM + three SpMMs backward per head.
@@ -67,8 +67,7 @@ impl GatModel {
             state ^= state >> 12;
             state ^= state << 25;
             state ^= state >> 27;
-            ((state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 53) as f64
-                * 2.0
+            ((state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 53) as f64 * 2.0
                 - 1.0) as f32
                 * limit
         };
@@ -93,8 +92,7 @@ impl GatModel {
         for (h, head) in self.heads.iter().enumerate() {
             let (out, _w, cache) = head.forward_cached(backend, s, x);
             for i in 0..n {
-                concat.row_mut(i)[h * head_dim..(h + 1) * head_dim]
-                    .copy_from_slice(out.row(i));
+                concat.row_mut(i)[h * head_dim..(h + 1) * head_dim].copy_from_slice(out.row(i));
             }
             head_caches.push(cache);
         }

@@ -6,7 +6,9 @@
 //! backward), so kernel quality shows up twice per layer per iteration,
 //! exactly as in DGL/PyG training.
 
-use crate::backend::{dense_gemm_cycles, elementwise_cycles, SparseBackend, LAUNCH_OVERHEAD_CYCLES};
+use crate::backend::{
+    dense_gemm_cycles, elementwise_cycles, SparseBackend, LAUNCH_OVERHEAD_CYCLES,
+};
 use crate::linalg;
 use hpsparse_sparse::{Dense, Hybrid};
 
@@ -112,13 +114,17 @@ impl Gcn {
             inputs.push(h.clone());
             let z = backend.spmm(s, &h);
             let w = &self.weights[l];
-            backend.account_dense(dense_gemm_cycles(&device, z.rows(), z.cols(), w.cols()) + LAUNCH_OVERHEAD_CYCLES);
+            backend.account_dense(
+                dense_gemm_cycles(&device, z.rows(), z.cols(), w.cols()) + LAUNCH_OVERHEAD_CYCLES,
+            );
             let mut y = linalg::matmul(&z, w);
             linalg::add_bias(&mut y, &self.biases[l]);
             aggregated.push(z);
             pre_activations.push(y.clone());
             if l + 1 < layers {
-                backend.account_dense(elementwise_cycles(&device, y.rows() * y.cols()) + LAUNCH_OVERHEAD_CYCLES);
+                backend.account_dense(
+                    elementwise_cycles(&device, y.rows() * y.cols()) + LAUNCH_OVERHEAD_CYCLES,
+                );
                 linalg::relu(&mut y);
             }
             h = y;
@@ -150,16 +156,23 @@ impl Gcn {
         for l in (0..layers).rev() {
             let z = &cache.aggregated[l];
             let w = &self.weights[l];
-            backend.account_dense(dense_gemm_cycles(&device, w.rows(), z.rows(), w.cols()) + LAUNCH_OVERHEAD_CYCLES);
+            backend.account_dense(
+                dense_gemm_cycles(&device, w.rows(), z.rows(), w.cols()) + LAUNCH_OVERHEAD_CYCLES,
+            );
             w_grads[l] = Some(linalg::matmul_transpose_a(z, &d_y));
             b_grads[l] = Some(linalg::column_sums(&d_y));
             if l == 0 {
                 break;
             }
-            backend.account_dense(dense_gemm_cycles(&device, d_y.rows(), d_y.cols(), w.rows()) + LAUNCH_OVERHEAD_CYCLES);
+            backend.account_dense(
+                dense_gemm_cycles(&device, d_y.rows(), d_y.cols(), w.rows())
+                    + LAUNCH_OVERHEAD_CYCLES,
+            );
             let d_z = linalg::matmul_transpose_b(&d_y, w);
             let mut d_h = backend.spmm(s_t, &d_z);
-            backend.account_dense(elementwise_cycles(&device, d_h.rows() * d_h.cols()) + LAUNCH_OVERHEAD_CYCLES);
+            backend.account_dense(
+                elementwise_cycles(&device, d_h.rows() * d_h.cols()) + LAUNCH_OVERHEAD_CYCLES,
+            );
             linalg::relu_backward(&mut d_h, &cache.pre_activations[l - 1]);
             d_y = d_h;
         }
@@ -193,8 +206,16 @@ impl Adam {
             beta2: 0.999,
             eps: 1e-8,
             t: 0,
-            m_w: model.weights.iter().map(|w| vec![0.0; w.data().len()]).collect(),
-            v_w: model.weights.iter().map(|w| vec![0.0; w.data().len()]).collect(),
+            m_w: model
+                .weights
+                .iter()
+                .map(|w| vec![0.0; w.data().len()])
+                .collect(),
+            v_w: model
+                .weights
+                .iter()
+                .map(|w| vec![0.0; w.data().len()])
+                .collect(),
             m_b: model.biases.iter().map(|b| vec![0.0; b.len()]).collect(),
             v_b: model.biases.iter().map(|b| vec![0.0; b.len()]).collect(),
         }

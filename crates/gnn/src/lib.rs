@@ -20,7 +20,9 @@ pub mod linalg;
 pub mod sage;
 pub mod train;
 
-pub use backend::{dense_gemm_cycles, BaselineBackend, CpuBackend, HpBackend, SparseBackend};
+pub use backend::{
+    dense_gemm_cycles, AutoBackend, BaselineBackend, CpuBackend, HpBackend, SparseBackend,
+};
 pub use gat_model::{GatAdam, GatConfig, GatModel};
 pub use gcn::{Adam, Gcn, GcnConfig};
 pub use sage::{mean_operator, Sage, SageAdam, SageConfig};

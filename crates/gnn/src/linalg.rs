@@ -265,10 +265,8 @@ mod tests {
             plus[idx] += eps;
             let mut minus = base.clone();
             minus[idx] -= eps;
-            let (lp, _) =
-                softmax_cross_entropy(&Dense::from_vec(2, 3, plus).unwrap(), &labels);
-            let (lm, _) =
-                softmax_cross_entropy(&Dense::from_vec(2, 3, minus).unwrap(), &labels);
+            let (lp, _) = softmax_cross_entropy(&Dense::from_vec(2, 3, plus).unwrap(), &labels);
+            let (lm, _) = softmax_cross_entropy(&Dense::from_vec(2, 3, minus).unwrap(), &labels);
             let numeric = (lp - lm) / (2.0 * eps);
             let analytic = grad.data()[idx];
             assert!(
@@ -280,8 +278,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_argmax_matches() {
-        let logits =
-            Dense::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0]).unwrap();
+        let logits = Dense::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0]).unwrap();
         assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-9);
         assert_eq!(accuracy(&Dense::zeros(0, 2), &[]), 0.0);
     }

@@ -7,7 +7,9 @@
 //! SpMM backward per layer, exactly like GCN, plus a second (dense) branch
 //! for the self features.
 
-use crate::backend::{dense_gemm_cycles, elementwise_cycles, SparseBackend, LAUNCH_OVERHEAD_CYCLES};
+use crate::backend::{
+    dense_gemm_cycles, elementwise_cycles, SparseBackend, LAUNCH_OVERHEAD_CYCLES,
+};
 use crate::gcn::Adam;
 use crate::linalg;
 use hpsparse_sparse::{Csr, Dense, FormatError, Graph, Hybrid};
@@ -176,8 +178,7 @@ impl Sage {
             let h = &cache.inputs[l];
             let z = &cache.aggregated[l];
             backend.account_dense(
-                dense_gemm_cycles(&device, h.cols(), h.rows(), d_y.cols())
-                    + LAUNCH_OVERHEAD_CYCLES,
+                dense_gemm_cycles(&device, h.cols(), h.rows(), d_y.cols()) + LAUNCH_OVERHEAD_CYCLES,
             );
             gs[l] = Some(linalg::matmul_transpose_a(h, &d_y));
             gn[l] = Some(linalg::matmul_transpose_a(z, &d_y));

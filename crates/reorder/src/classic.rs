@@ -118,10 +118,7 @@ mod tests {
 
     #[test]
     fn degree_sort_puts_hubs_first() {
-        let g = Graph::from_edges(
-            5,
-            &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 0), (2, 0)],
-        );
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 0), (2, 0)]);
         let r = degree_sort_reorder(&g);
         // Node 0 (degree 4) gets label 0.
         assert_eq!(r.perm[0], 0);

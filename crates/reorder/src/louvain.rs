@@ -92,8 +92,11 @@ impl WGraph {
         for i in 0..n {
             let lo = offsets[i];
             let hi = offsets[i + 1];
-            let mut pairs: Vec<(u32, f64)> =
-                nbr[lo..hi].iter().copied().zip(w[lo..hi].iter().copied()).collect();
+            let mut pairs: Vec<(u32, f64)> = nbr[lo..hi]
+                .iter()
+                .copied()
+                .zip(w[lo..hi].iter().copied())
+                .collect();
             pairs.sort_by_key(|&(c, _)| c);
             let mut j = 0;
             while j < pairs.len() {
@@ -133,7 +136,10 @@ impl WGraph {
     fn neighbors(&self, v: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
         let lo = self.offsets[v];
         let hi = self.offsets[v + 1];
-        self.nbr[lo..hi].iter().copied().zip(self.w[lo..hi].iter().copied())
+        self.nbr[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.w[lo..hi].iter().copied())
     }
 }
 

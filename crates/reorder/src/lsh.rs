@@ -136,10 +136,7 @@ mod tests {
 
     #[test]
     fn identical_neighbor_sets_share_signatures() {
-        let g = Graph::from_edges(
-            6,
-            &[(0, 2), (0, 3), (1, 2), (1, 3), (4, 5), (5, 4)],
-        );
+        let g = Graph::from_edges(6, &[(0, 2), (0, 3), (1, 2), (1, 3), (4, 5), (5, 4)]);
         assert_eq!(signature(g.neighbors(0)), signature(g.neighbors(1)));
         assert_ne!(signature(g.neighbors(0)), signature(g.neighbors(4)));
     }

@@ -145,8 +145,7 @@ impl GpuSim {
             // Per-SM accounting for this wave.
             let mut sm_sum = vec![0f64; num_sms];
             let mut sm_max_block = vec![0f64; num_sms];
-            let blocks_this_wave =
-                occ.full_wave_size.min(blocks - block_id);
+            let blocks_this_wave = occ.full_wave_size.min(blocks - block_id);
             for slot in 0..blocks_this_wave {
                 let sm = (slot as usize) % num_sms;
                 let mut block_max = 0f64;
@@ -188,8 +187,7 @@ impl GpuSim {
         let occ_factor = (occ.warp_occupancy * 2.0).clamp(0.05, 1.0);
         // Only L2 misses consume HBM bandwidth; hits are served on chip.
         let dram_bytes = totals.dram_sectors * crate::memory::SECTOR_BYTES as u64;
-        let dram_bound =
-            dram_bytes as f64 / (self.device.dram_bytes_per_cycle * occ_factor);
+        let dram_bound = dram_bytes as f64 / (self.device.dram_bytes_per_cycle * occ_factor);
         // No kernel completes faster than the pipeline fill/drain floor
         // (~1.5 µs): microscopic launches — tiny sampled subgraphs — are
         // floor-bound on every kernel alike.

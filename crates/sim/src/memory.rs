@@ -89,7 +89,9 @@ pub fn sectors_of_range(start_addr: u64, len_bytes: u64) -> impl Iterator<Item =
         (start_addr + len_bytes - 1) / SECTOR_BYTES as u64
     };
     let empty = len_bytes == 0;
-    (first..=last).filter(move |_| !empty).map(|s| s * SECTOR_BYTES as u64)
+    (first..=last)
+        .filter(move |_| !empty)
+        .map(|s| s * SECTOR_BYTES as u64)
 }
 
 /// Number of sectors touched by a contiguous range — the transaction count

@@ -51,8 +51,7 @@ pub fn occupancy_of(device: &DeviceSpec, res: &KernelResources) -> Occupancy {
         .min(by_smem)
         .min(device.max_blocks_per_sm);
     let full_wave = device.num_sms as u64 * active as u64;
-    let warp_occ =
-        (active * res.warps_per_block) as f64 / device.max_warps_per_sm as f64;
+    let warp_occ = (active * res.warps_per_block) as f64 / device.max_warps_per_sm as f64;
     Occupancy {
         active_blocks_per_sm: active,
         full_wave_size: full_wave,

@@ -80,8 +80,15 @@ mod tests {
         );
         let text = render("test-kernel", &report);
         for section in [
-            "kernel", "duration", "bound by", "grid", "occupancy", "balance",
-            "instructions", "memory", "bandwidth",
+            "kernel",
+            "duration",
+            "bound by",
+            "grid",
+            "occupancy",
+            "balance",
+            "instructions",
+            "memory",
+            "bandwidth",
         ] {
             assert!(text.contains(section), "missing {section}:\n{text}");
         }

@@ -218,8 +218,7 @@ mod tests {
     #[test]
     fn power_law_rows_pad_heavily() {
         // One dense row forces a wide ELL; everything else pads.
-        let mut triplets: Vec<(u32, u32, f32)> =
-            (0..32u32).map(|c| (0, c, 1.0)).collect();
+        let mut triplets: Vec<(u32, u32, f32)> = (0..32u32).map(|c| (0, c, 1.0)).collect();
         triplets.push((7, 0, 1.0));
         let csr = Csr::from_triplets(8, 32, &triplets).unwrap();
         let bell = BlockedEll::from_csr(&csr, 4).unwrap();

@@ -305,7 +305,13 @@ mod tests {
         let m = Csr::from_triplets(
             3,
             3,
-            &[(2, 1, 5.0), (0, 2, 2.0), (0, 0, 1.0), (2, 0, 4.0), (1, 1, 3.0)],
+            &[
+                (2, 1, 5.0),
+                (0, 2, 2.0),
+                (0, 0, 1.0),
+                (2, 0, 4.0),
+                (1, 1, 3.0),
+            ],
         )
         .unwrap();
         assert_eq!(m.row_offsets(), &[0, 2, 3, 5]);

@@ -12,10 +12,7 @@ pub enum FormatError {
     /// `row_offsets[rows]` must equal `col_indices.len()`.
     OffsetNnzMismatch { expected: usize, found: usize },
     /// Index arrays and the value array must have equal lengths.
-    ArrayLengthMismatch {
-        indices: usize,
-        values: usize,
-    },
+    ArrayLengthMismatch { indices: usize, values: usize },
     /// A column index is out of bounds.
     ColumnOutOfBounds { index: usize, col: u32, cols: usize },
     /// A row index is out of bounds.
@@ -38,10 +35,9 @@ impl fmt::Display for FormatError {
             FormatError::OffsetsNotMonotonic { index } => {
                 write!(f, "row_offsets decreases at index {index}")
             }
-            FormatError::OffsetNnzMismatch { expected, found } => write!(
-                f,
-                "last row offset {found} does not match nnz {expected}"
-            ),
+            FormatError::OffsetNnzMismatch { expected, found } => {
+                write!(f, "last row offset {found} does not match nnz {expected}")
+            }
             FormatError::ArrayLengthMismatch { indices, values } => write!(
                 f,
                 "index arrays ({indices}) and value array ({values}) differ in length"

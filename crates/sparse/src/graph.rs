@@ -28,8 +28,7 @@ impl Graph {
     /// Builds a graph on `n` nodes from an edge list `(dst, src)`,
     /// all edge weights 1.0. Duplicate edges are kept.
     pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
-        let triplets: Vec<(u32, u32, f32)> =
-            edges.iter().map(|&(d, s)| (d, s, 1.0)).collect();
+        let triplets: Vec<(u32, u32, f32)> = edges.iter().map(|&(d, s)| (d, s, 1.0)).collect();
         Self {
             adj: Csr::from_triplets(n, n, &triplets).expect("edge indices must be < n"),
         }

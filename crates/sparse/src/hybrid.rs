@@ -119,7 +119,11 @@ impl Hybrid {
     /// # Panics
     /// Panics when `values.len() != self.nnz()`.
     pub fn set_values(&mut self, values: Vec<f32>) {
-        assert_eq!(values.len(), self.nnz(), "value array length must match nnz");
+        assert_eq!(
+            values.len(),
+            self.nnz(),
+            "value array length must match nnz"
+        );
         self.values = values;
     }
 
@@ -156,8 +160,7 @@ impl Hybrid {
     /// receives exactly `NnzPerWarp` elements regardless of row boundaries.
     pub fn chunks(&self, chunk: usize) -> impl Iterator<Item = std::ops::Range<usize>> + '_ {
         let nnz = self.nnz();
-        (0..nnz.div_ceil(chunk.max(1)))
-            .map(move |i| i * chunk..((i + 1) * chunk).min(nnz))
+        (0..nnz.div_ceil(chunk.max(1))).map(move |i| i * chunk..((i + 1) * chunk).min(nnz))
     }
 
     /// Number of row switches a warp covering `range` performs — used by the
@@ -197,27 +200,15 @@ mod tests {
 
     #[test]
     fn sorted_parts_rejects_unsorted_rows() {
-        let err = Hybrid::from_sorted_parts(
-            2,
-            2,
-            vec![1, 0],
-            vec![0, 0],
-            vec![1.0, 2.0],
-        )
-        .unwrap_err();
+        let err =
+            Hybrid::from_sorted_parts(2, 2, vec![1, 0], vec![0, 0], vec![1.0, 2.0]).unwrap_err();
         assert!(matches!(err, FormatError::NotSorted { index: 1 }));
     }
 
     #[test]
     fn sorted_parts_rejects_unsorted_cols_within_row() {
-        let err = Hybrid::from_sorted_parts(
-            2,
-            3,
-            vec![0, 0],
-            vec![2, 1],
-            vec![1.0, 2.0],
-        )
-        .unwrap_err();
+        let err =
+            Hybrid::from_sorted_parts(2, 3, vec![0, 0], vec![2, 1], vec![1.0, 2.0]).unwrap_err();
         assert!(matches!(err, FormatError::NotSorted { .. }));
     }
 
@@ -231,14 +222,7 @@ mod tests {
 
     #[test]
     fn from_coo_sorts() {
-        let coo = Coo::new(
-            3,
-            3,
-            vec![2, 0, 1],
-            vec![0, 1, 2],
-            vec![3.0, 1.0, 2.0],
-        )
-        .unwrap();
+        let coo = Coo::new(3, 3, vec![2, 0, 1], vec![0, 1, 2], vec![3.0, 1.0, 2.0]).unwrap();
         let h = Hybrid::from_coo(&coo);
         assert_eq!(h.row_indices(), &[0, 1, 2]);
         assert_eq!(h.values(), &[1.0, 2.0, 3.0]);

@@ -191,14 +191,7 @@ mod tests {
 
     #[test]
     fn matrix_market_roundtrip() {
-        let coo = Coo::new(
-            3,
-            4,
-            vec![0, 1, 2],
-            vec![3, 0, 2],
-            vec![1.5, -2.0, 0.25],
-        )
-        .unwrap();
+        let coo = Coo::new(3, 4, vec![0, 1, 2], vec![3, 0, 2], vec![1.5, -2.0, 0.25]).unwrap();
         let mut buf = Vec::new();
         write_matrix_market(&mut buf, &coo).unwrap();
         let parsed = read_matrix_market(Cursor::new(buf)).unwrap();

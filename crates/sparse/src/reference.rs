@@ -12,7 +12,9 @@ use crate::hybrid::Hybrid;
 /// `O = S · A` where `S` is `M × N` sparse and `A` is `N × K` dense.
 pub fn spmm(s: &Hybrid, a: &Dense) -> Result<Dense, FormatError> {
     if s.cols() != a.rows() {
-        return Err(FormatError::DimensionMismatch { context: "spmm: S.cols != A.rows" });
+        return Err(FormatError::DimensionMismatch {
+            context: "spmm: S.cols != A.rows",
+        });
     }
     let k = a.cols();
     let mut o = Dense::zeros(s.rows(), k);
@@ -34,13 +36,19 @@ pub fn spmm(s: &Hybrid, a: &Dense) -> Result<Dense, FormatError> {
 /// `M × N` sparse. Returns the output values in element order of `s`.
 pub fn sddmm(s: &Hybrid, a1: &Dense, a2: &Dense) -> Result<Vec<f32>, FormatError> {
     if a1.rows() != s.rows() {
-        return Err(FormatError::DimensionMismatch { context: "sddmm: A1.rows != S.rows" });
+        return Err(FormatError::DimensionMismatch {
+            context: "sddmm: A1.rows != S.rows",
+        });
     }
     if a2.cols() != s.cols() {
-        return Err(FormatError::DimensionMismatch { context: "sddmm: A2.cols != S.cols" });
+        return Err(FormatError::DimensionMismatch {
+            context: "sddmm: A2.cols != S.cols",
+        });
     }
     if a1.cols() != a2.rows() {
-        return Err(FormatError::DimensionMismatch { context: "sddmm: A1.cols != A2.rows" });
+        return Err(FormatError::DimensionMismatch {
+            context: "sddmm: A1.cols != A2.rows",
+        });
     }
     let k = a1.cols();
     let mut out = vec![0f32; s.nnz()];
@@ -61,13 +69,19 @@ pub fn sddmm(s: &Hybrid, a1: &Dense, a2: &Dense) -> Result<Vec<f32>, FormatError
 /// `A2^T`). Numerically identical to [`sddmm`].
 pub fn sddmm_transposed(s: &Hybrid, a1: &Dense, a2t: &Dense) -> Result<Vec<f32>, FormatError> {
     if a1.rows() != s.rows() {
-        return Err(FormatError::DimensionMismatch { context: "sddmm: A1.rows != S.rows" });
+        return Err(FormatError::DimensionMismatch {
+            context: "sddmm: A1.rows != S.rows",
+        });
     }
     if a2t.rows() != s.cols() {
-        return Err(FormatError::DimensionMismatch { context: "sddmm: A2T.rows != S.cols" });
+        return Err(FormatError::DimensionMismatch {
+            context: "sddmm: A2T.rows != S.cols",
+        });
     }
     if a1.cols() != a2t.cols() {
-        return Err(FormatError::DimensionMismatch { context: "sddmm: A1.cols != A2T.cols" });
+        return Err(FormatError::DimensionMismatch {
+            context: "sddmm: A1.cols != A2T.cols",
+        });
     }
     let mut out = vec![0f32; s.nnz()];
     for (i, slot) in out.iter_mut().enumerate() {

@@ -64,5 +64,8 @@ fn main() {
         .map(|((r, _), &w)| (*r, w))
         .max_by(|a, b| a.1.total_cmp(&b.1))
         .unwrap();
-    println!("node {node} keeps {:.0}% of its attention on itself", w * 100.0);
+    println!(
+        "node {node} keeps {:.0}% of its attention on itself",
+        w * 100.0
+    );
 }

@@ -54,14 +54,29 @@ fn main() {
     );
 
     let mut baseline = BaselineBackend::new(DeviceSpec::v100());
-    let (_, base_stats) =
-        train_full_graph(&mut baseline, &graph, &features, &labels, model_cfg, train_cfg);
-    report("cuSPARSE-style backend", &baseline, &base_stats.losses, base_stats.final_accuracy);
+    let (_, base_stats) = train_full_graph(
+        &mut baseline,
+        &graph,
+        &features,
+        &labels,
+        model_cfg,
+        train_cfg,
+    );
+    report(
+        "cuSPARSE-style backend",
+        &baseline,
+        &base_stats.losses,
+        base_stats.final_accuracy,
+    );
 
     let mut hp = HpBackend::new(DeviceSpec::v100());
-    let (_, hp_stats) =
-        train_full_graph(&mut hp, &graph, &features, &labels, model_cfg, train_cfg);
-    report("HP-SpMM backend", &hp, &hp_stats.losses, hp_stats.final_accuracy);
+    let (_, hp_stats) = train_full_graph(&mut hp, &graph, &features, &labels, model_cfg, train_cfg);
+    report(
+        "HP-SpMM backend",
+        &hp,
+        &hp_stats.losses,
+        hp_stats.final_accuracy,
+    );
 
     println!(
         "\nend-to-end speedup from swapping the sparse kernels: {:.2}x \

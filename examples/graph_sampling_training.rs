@@ -12,9 +12,7 @@
 
 use hpsparse::datasets::features::{planted_labels, random_features};
 use hpsparse::datasets::generators::{GeneratorConfig, Topology};
-use hpsparse::gnn::{
-    train_graph_sampling, BaselineBackend, GcnConfig, HpBackend, TrainConfig,
-};
+use hpsparse::gnn::{train_graph_sampling, BaselineBackend, GcnConfig, HpBackend, TrainConfig};
 use hpsparse::sim::DeviceSpec;
 
 fn main() {
@@ -58,12 +56,15 @@ fn main() {
 
     let mut baseline = BaselineBackend::new(DeviceSpec::v100());
     let (_, base) = train_graph_sampling(
-        &mut baseline, &graph, &features, &labels, model_cfg, train_cfg,
+        &mut baseline,
+        &graph,
+        &features,
+        &labels,
+        model_cfg,
+        train_cfg,
     );
     let mut hp = HpBackend::new(DeviceSpec::v100());
-    let (_, ours) = train_graph_sampling(
-        &mut hp, &graph, &features, &labels, model_cfg, train_cfg,
-    );
+    let (_, ours) = train_graph_sampling(&mut hp, &graph, &features, &labels, model_cfg, train_cfg);
 
     println!(
         "baseline kernels: loss {:.3} -> {:.3}, GPU time {:.2} ms \

@@ -53,7 +53,10 @@ fn main() {
         opt.step(&mut model, &grads);
         if epoch % 5 == 0 || epoch == 14 {
             let acc = linalg::accuracy(&logits, &labels);
-            println!("epoch {epoch:>2}: loss {loss:.4}, accuracy {:.1}%", acc * 100.0);
+            println!(
+                "epoch {epoch:>2}: loss {loss:.4}, accuracy {:.1}%",
+                acc * 100.0
+            );
         }
     }
     println!(

@@ -16,7 +16,10 @@ fn main() {
     let k = 64;
 
     println!("== DTP: NnzPerWarp across graph scales ==\n");
-    println!("{:>12} {:>12} {:>12} {:>8} {:>8}", "edges", "nodes", "NnzPerWarp", "vw", "blocks");
+    println!(
+        "{:>12} {:>12} {:>12} {:>8} {:>8}",
+        "edges", "nodes", "NnzPerWarp", "vw", "blocks"
+    );
     for (nodes, edges) in [
         (2_000usize, 20_000usize), // sampled subgraph
         (4_267, 500_000),          // ddi-like: dense, few nodes

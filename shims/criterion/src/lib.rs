@@ -1,0 +1,224 @@
+//! Offline stand-in for `criterion`: a minimal wall-clock benchmark
+//! runner behind the API subset this workspace's `benches/` targets use.
+//!
+//! The build environment has no access to crates.io. This stand-in keeps
+//! the bench targets compiling and runnable (`cargo bench` prints a
+//! median-of-samples time per benchmark and the derived element
+//! throughput) but does none of criterion's statistics: no outlier
+//! classification, no regression detection, no HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// Opaque hint preventing the optimiser from deleting a benchmarked
+/// computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units the benchmarked quantity is measured in, for derived
+/// throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A `group/function/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Labels a benchmark as `{function}/{parameter}`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing context passed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting one sample per configured iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call, then timed samples.
+        black_box(routine());
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.sort_unstable();
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+/// A named set of related benchmarks sharing sample-count and
+/// throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_count: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(1);
+        self
+    }
+
+    /// Sets the per-iteration work amount for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark identified by `id` with an explicit input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_count: self.sample_count,
+        };
+        f(&mut b, input);
+        self.report(&id.to_string(), b.median());
+        self
+    }
+
+    /// Runs one benchmark identified by a plain name.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_count: self.sample_count,
+        };
+        f(&mut b);
+        self.report(name, b.median());
+        self
+    }
+
+    /// Ends the group (prints nothing extra; reports are per-benchmark).
+    pub fn finish(&mut self) {}
+
+    fn report(&mut self, bench_name: &str, median: Duration) {
+        let mut line = format!("{}/{}: {:?}", self.name, bench_name, median);
+        if let Some(tp) = self.throughput {
+            let per_sec = |count: u64| count as f64 / median.as_secs_f64().max(1e-12);
+            match tp {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  ({:.3} Melem/s)", per_sec(n) / 1e6));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!("  ({:.3} MiB/s)", per_sec(n) / (1024.0 * 1024.0)));
+                }
+            }
+        }
+        println!("{line}");
+        self.criterion.reports.push(line);
+    }
+}
+
+/// Benchmark manager: entry point handed to every `criterion_group!`
+/// function.
+#[derive(Default)]
+pub struct Criterion {
+    reports: Vec<String>,
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_count: 10,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Number of benchmark lines reported so far.
+    pub fn completed(&self) -> usize {
+        self.reports.len()
+    }
+}
+
+/// Bundles benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            eprintln!("{} benchmarks completed", c.completed());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addition_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(1000));
+        group.bench_with_input(BenchmarkId::new("sum", "1k"), &1000u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+
+    #[test]
+    fn runner_executes_benchmarks() {
+        let mut c = Criterion::default();
+        addition_bench(&mut c);
+        assert_eq!(c.completed(), 2);
+        assert!(c.reports[0].starts_with("demo/sum/1k:"));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(
+            BenchmarkId::new("kernel", "HP-SpMM").to_string(),
+            "kernel/HP-SpMM"
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Offline stand-in for `rayon`: the parallel-iterator API subset this
+//! workspace uses, executed **sequentially**.
+//!
+//! The build environment has no access to crates.io. The CPU kernels in
+//! `hpsparse-core::cpu` and the training linear algebra in
+//! `hpsparse-gnn::linalg` are written against rayon's `par_iter` /
+//! `par_chunks_mut` / `into_par_iter` surface; every one of those
+//! algorithms is correct under any execution order, so handing back plain
+//! sequential iterators preserves numerics exactly (and makes runs
+//! bit-deterministic). Wall-clock parallel speedups are the only thing
+//! lost, and none of the repository's reported numbers depend on them —
+//! all performance claims come from the cycle-level GPU model in
+//! `hpsparse-sim`.
+
+/// Number of worker threads in the pool. The sequential stand-in runs
+/// everything on the calling thread.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Converts collections into a "parallel" iterator (here: the plain
+/// sequential iterator; all `Iterator` adaptors keep working).
+pub trait IntoParallelIterator {
+    /// Iterator type produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type.
+    type Item;
+
+    /// Consumes `self` into an iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Iter = I::IntoIter;
+    type Item = I::Item;
+
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Shared-slice access in rayon's naming.
+pub trait ParallelSlice<T> {
+    /// Sequential stand-in for `par_iter`.
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    /// Sequential stand-in for `par_chunks`.
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// Mutable-slice access in rayon's naming.
+pub trait ParallelSliceMut<T> {
+    /// Sequential stand-in for `par_iter_mut`.
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    /// Sequential stand-in for `par_chunks_mut`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+/// Runs two closures (sequentially here) and returns both results —
+/// rayon's `join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+pub mod prelude {
+    //! The glob-import surface (`use rayon::prelude::*`).
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_covers_all_elements() {
+        let mut v = vec![0u32; 10];
+        v.par_chunks_mut(3).enumerate().for_each(|(i, chunk)| {
+            for x in chunk {
+                *x = i as u32;
+            }
+        });
+        assert_eq!(v, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn into_par_iter_on_ranges_and_vecs() {
+        let squares: Vec<usize> = (0..5usize).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares, [0, 1, 4, 9, 16]);
+        let sum: i32 = vec![1, 2, 3].into_par_iter().sum();
+        assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn zip_across_par_iters() {
+        let a = [1.0f32, 2.0, 3.0];
+        let mut b = [0.0f32; 3];
+        b.par_iter_mut()
+            .zip(a.par_iter())
+            .for_each(|(x, &y)| *x = 2.0 * y);
+        assert_eq!(b, [2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        assert_eq!(super::join(|| 1, || "x"), (1, "x"));
+        assert_eq!(super::current_num_threads(), 1);
+    }
+}

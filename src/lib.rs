@@ -23,6 +23,7 @@
 //! | [`reorder`] | `hpsparse-reorder` | Louvain-based GCR and baseline reordering schemes |
 //! | [`datasets`] | `hpsparse-datasets` | Synthetic versions of the paper's datasets |
 //! | [`gnn`] | `hpsparse-gnn` | Tensors, autograd, GCN / GraphSAINT training |
+//! | [`autotune`] | `hpsparse-autotune` | Kernel planner: fingerprints, cost model, persistent plan cache |
 //!
 //! ## Quickstart
 //!
@@ -46,6 +47,7 @@
 //! assert!(run.report.cycles > 0);
 //! ```
 
+pub use hpsparse_autotune as autotune;
 pub use hpsparse_core as kernels;
 pub use hpsparse_datasets as datasets;
 pub use hpsparse_gnn as gnn;

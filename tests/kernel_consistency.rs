@@ -4,8 +4,8 @@
 
 use hpsparse::datasets::generators::{GeneratorConfig, Topology};
 use hpsparse::kernels::baselines::{
-    Aspt, CusparseCooAlg4, CusparseCsrAlg2, CusparseCsrAlg3, CusparseCsrSddmm, DglSddmm,
-    GeSpmm, Huang, MergePath, RowSplit, Sputnik, TcGnn,
+    Aspt, CusparseCooAlg4, CusparseCsrAlg2, CusparseCsrAlg3, CusparseCsrSddmm, DglSddmm, GeSpmm,
+    Huang, MergePath, RowSplit, Sputnik, TcGnn,
 };
 use hpsparse::kernels::cpu;
 use hpsparse::kernels::hp::{HpSddmm, HpSpmm};
@@ -143,8 +143,7 @@ fn devices_agree_numerically_but_not_on_time() {
     // A30 has 4x the L2: on this cache-sensitive workload its report
     // should differ somewhere.
     assert!(
-        r1.report.time_ms != r2.report.time_ms
-            || r1.report.l2_hit_rate != r2.report.l2_hit_rate
+        r1.report.time_ms != r2.report.time_ms || r1.report.l2_hit_rate != r2.report.l2_hit_rate
     );
 }
 

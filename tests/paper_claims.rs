@@ -8,7 +8,7 @@ use hpsparse::kernels::hp::{HpConfig, HpSpmm};
 use hpsparse::kernels::SpmmKernel;
 use hpsparse::reorder::{gcr_reorder, louvain, LouvainConfig};
 use hpsparse::sim::DeviceSpec;
-use hpsparse::sparse::{Dense, DegreeStats, MemoryFootprint};
+use hpsparse::sparse::{DegreeStats, Dense, MemoryFootprint};
 
 fn features(rows: usize, k: usize) -> Dense {
     Dense::from_fn(rows, k, |i, j| (((i * 131 + j * 17) % 1000) as f32) * 1e-3)

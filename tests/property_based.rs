@@ -18,16 +18,14 @@ fn sparse_matrix() -> impl Strategy<Value = (usize, usize, Vec<(u32, u32, f32)>)
             0..cols as u32,
             proptest::num::i32::ANY.prop_map(|v| (v % 100) as f32 * 0.25),
         );
-        proptest::collection::vec(triplet, 0..200)
-            .prop_map(move |t| (rows, cols, t))
+        proptest::collection::vec(triplet, 0..200).prop_map(move |t| (rows, cols, t))
     })
 }
 
 /// Strategy: a random square graph edge list.
 fn graph_edges() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
     (4usize..50).prop_flat_map(|n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32), 0..300)
-            .prop_map(move |e| (n, e))
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..300).prop_map(move |e| (n, e))
     })
 }
 

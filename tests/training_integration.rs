@@ -6,8 +6,8 @@ use hpsparse::datasets::features::{planted_labels, random_features};
 use hpsparse::datasets::generators::{GeneratorConfig, Topology};
 use hpsparse::gnn::gat::GatLayer;
 use hpsparse::gnn::{
-    train_full_graph, train_graph_sampling, BaselineBackend, CpuBackend, GcnConfig,
-    HpBackend, SparseBackend, TrainConfig,
+    train_full_graph, train_graph_sampling, BaselineBackend, CpuBackend, GcnConfig, HpBackend,
+    SparseBackend, TrainConfig,
 };
 use hpsparse::reorder::gcr_reorder;
 use hpsparse::sim::DeviceSpec;
