@@ -9,6 +9,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hpsparse_core::cpu;
 use hpsparse_datasets::generators::{GeneratorConfig, Topology};
+use hpsparse_datasets::registry::by_name;
+use hpsparse_datasets::store;
 use hpsparse_sparse::{reference, Dense};
 
 fn features(rows: usize, k: usize) -> Dense {
@@ -69,5 +71,29 @@ fn bench_sddmm(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_spmm, bench_sddmm);
+/// Sequential reference vs the two parallel CPU paths on a Table II
+/// registry graph (Flickr, capped like `repro --quick`): the shim pool's
+/// speedup on a real benchmark input rather than a synthetic topology.
+fn bench_registry_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu_spmm_registry");
+    group.sample_size(10);
+    let spec = by_name("Flickr").expect("Flickr is in the registry");
+    let g = store::graph(&spec, 200_000);
+    let s = g.to_hybrid();
+    let csr = s.to_csr();
+    let a = features(s.cols(), 64);
+    group.throughput(Throughput::Elements(s.nnz() as u64 * 64));
+    group.bench_function("sequential", |b| {
+        b.iter(|| reference::spmm(&s, &a).unwrap())
+    });
+    group.bench_function("row_parallel", |b| {
+        b.iter(|| cpu::par_spmm_row(&csr, &a).unwrap())
+    });
+    group.bench_function("hybrid_parallel", |b| {
+        b.iter(|| cpu::par_spmm_hybrid(&s, &a, 0).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmm, bench_sddmm, bench_registry_graph);
 criterion_main!(benches);

@@ -24,15 +24,14 @@
 //!   profile  Nsight-style kernel profiles on Flickr
 //!   datasets Table II stand-in verification
 //!   all      everything above
+//!   selftime wall-clock self-benchmark of the harness; writes BENCH_repro.json
 //! ```
+//!
+//! Experiment output on stdout is byte-identical at any `RAYON_NUM_THREADS`
+//! (timing chatter goes to stderr); `selftime` output is inherently
+//! timing-dependent.
 
-use hpsparse_bench::experiments::{
-    ablation, autotune, datasets_table, endtoend, extensions, formats, fullgraph, kernel_profile,
-    ksweep, preprocessing, reordering, sampling, summary, variance, Effort, ExperimentOutput,
-};
-use hpsparse_sim::DeviceSpec;
-
-const K: usize = 64;
+use hpsparse_bench::experiments::{dispatch, selftime, Effort, ALL_EXPERIMENTS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -59,33 +58,23 @@ fn main() {
         usage("no experiment given");
     }
     if wanted.iter().any(|w| w == "all") {
-        wanted = [
-            "formats",
-            "fig9",
-            "fig9a30",
-            "fig10",
-            "table3",
-            "table4",
-            "tcgnn",
-            "reorder",
-            "fig11",
-            "fig12",
-            "fig13",
-            "alpha",
-            "futurework",
-            "bell",
-            "fused",
-            "table5",
-            "autotune",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+        wanted = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
 
     for name in &wanted {
         let started = std::time::Instant::now();
-        let out = dispatch(name, effort);
+        let out = if name == "selftime" {
+            let out = selftime::run(effort);
+            std::fs::write(
+                "BENCH_repro.json",
+                serde_json::to_string_pretty(&out.json).unwrap(),
+            )
+            .expect("write BENCH_repro.json");
+            eprintln!("[wrote BENCH_repro.json]");
+            out
+        } else {
+            dispatch(name, effort).unwrap_or_else(|| usage(&format!("unknown experiment {name}")))
+        };
         println!("{}", out.text);
         eprintln!(
             "[{name} finished in {:.1}s]\n",
@@ -101,40 +90,6 @@ fn main() {
     }
 }
 
-fn dispatch(name: &str, effort: Effort) -> ExperimentOutput {
-    match name {
-        "fig9" => fullgraph::run(&DeviceSpec::v100(), effort, K),
-        "fig9a30" => {
-            let mut out = fullgraph::run(&DeviceSpec::a30(), effort, K);
-            out.id = "fig9a30";
-            out
-        }
-        "fig10" => sampling::run(&DeviceSpec::v100(), effort, K),
-        "fig10a30" => {
-            let mut out = sampling::run(&DeviceSpec::a30(), effort, K);
-            out.id = "fig10a30";
-            out
-        }
-        "table3" => summary::run(effort, K),
-        "table4" => preprocessing::run_table4(effort, K),
-        "tcgnn" => preprocessing::run_tcgnn(effort, K),
-        "reorder" => reordering::run(effort, K),
-        "fig11" => ablation::run(effort, K),
-        "fig12" => variance::run(effort, K),
-        "fig13" => ksweep::run(effort),
-        "alpha" => ablation::alpha_sweep(effort, K),
-        "futurework" => extensions::run_futurework(effort),
-        "bell" => extensions::run_bell(effort),
-        "fused" => extensions::run_fused(effort),
-        "table5" => endtoend::run(effort),
-        "autotune" => autotune::run(&DeviceSpec::v100(), effort, K),
-        "formats" => formats::run(effort, K),
-        "profile" => kernel_profile::run(effort, K),
-        "datasets" => datasets_table::run(effort),
-        other => usage(&format!("unknown experiment {other}")),
-    }
-}
-
 fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}\n");
@@ -142,7 +97,8 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: repro [--quick|--full] [--json DIR] <experiment>...\n\
          experiments: fig9 fig9a30 fig10 table3 table4 tcgnn reorder fig11 \
-         fig12 fig13 alpha futurework bell fused table5 autotune formats profile datasets all"
+         fig12 fig13 alpha futurework bell fused table5 autotune formats profile datasets \
+         all selftime"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

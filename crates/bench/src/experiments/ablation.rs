@@ -15,6 +15,7 @@ use crate::table;
 use hpsparse_core::hp::{HpConfig, HpSpmm};
 use hpsparse_core::traits::SpmmKernel;
 use hpsparse_datasets::registry::by_name;
+use hpsparse_datasets::store;
 use hpsparse_reorder::gcr_reorder;
 use hpsparse_sim::DeviceSpec;
 use hpsparse_sparse::Graph;
@@ -41,7 +42,7 @@ pub fn run(effort: Effort, k: usize) -> ExperimentOutput {
     let mut json_rows = Vec::new();
     for name in GRAPHS {
         let spec = by_name(name).expect("ablation graph in registry");
-        let g = spec.generate(effort.max_edges());
+        let g = store::graph(&spec, effort.max_edges());
         let s_shape = g.to_hybrid();
         let (nnz, m) = (s_shape.nnz(), s_shape.rows());
 
@@ -111,7 +112,7 @@ pub fn alpha_sweep(effort: Effort, k: usize) -> ExperimentOutput {
     let mut json_rows = Vec::new();
     for name in ["ddi", "Flickr", "Yelp"] {
         let spec = by_name(name).expect("sweep graph in registry");
-        let g = spec.generate(effort.max_edges());
+        let g = store::graph(&spec, effort.max_edges());
         let s = g.to_hybrid();
         let (nnz, m) = (s.nnz(), s.rows());
         let mut row = vec![name.to_string()];

@@ -19,7 +19,7 @@ use hpsparse_autotune::{
     instantiate_sddmm, instantiate_spmm, sddmm_candidates, spmm_candidates, Candidate,
     GraphFingerprint, PlanStrategy, Planner,
 };
-use hpsparse_datasets::{full_graph_dataset, sampling_corpus};
+use hpsparse_datasets::{full_graph_dataset, store};
 use hpsparse_gnn::{AutoBackend, HpBackend, SparseBackend};
 use hpsparse_sim::{DeviceSpec, GpuSim};
 use hpsparse_sparse::{Dense, Hybrid};
@@ -138,7 +138,7 @@ pub fn collect(device: &DeviceSpec, effort: Effort, k: usize) -> Vec<GraphResult
     let cap = edge_cap(effort);
     let graphs: Vec<(String, Hybrid)> = full_graph_dataset()
         .into_iter()
-        .map(|spec| (spec.name.to_string(), spec.generate(cap).to_hybrid()))
+        .map(|spec| (spec.name.to_string(), store::graph(&spec, cap).to_hybrid()))
         .collect();
 
     // Exhaustive candidate measurement per graph (the oracle), reused to
@@ -262,7 +262,7 @@ pub struct CorpusResult {
 
 /// Runs the corpus slice twice through one backend to exercise the cache.
 pub fn collect_corpus(device: &DeviceSpec, effort: Effort, k: usize) -> CorpusResult {
-    let corpus = sampling_corpus(corpus_slice(effort), 0xc0ffee);
+    let corpus = store::corpus(corpus_slice(effort), 0xc0ffee);
     let inputs: Vec<(Hybrid, Dense)> = corpus
         .iter()
         .map(|g| {

@@ -5,6 +5,7 @@
 use crate::experiments::{Effort, ExperimentOutput};
 use crate::table;
 use hpsparse_datasets::full_graph_dataset;
+use hpsparse_datasets::store;
 use hpsparse_sparse::DegreeStats;
 use serde_json::json;
 
@@ -13,7 +14,7 @@ pub fn run(effort: Effort) -> ExperimentOutput {
     let mut rows = Vec::new();
     let mut json_rows = Vec::new();
     for spec in full_graph_dataset() {
-        let g = spec.generate(effort.max_edges());
+        let g = store::graph(&spec, effort.max_edges());
         let stats = DegreeStats::of(g.adjacency());
         let scale = spec.scale_factor(effort.max_edges());
         rows.push(vec![

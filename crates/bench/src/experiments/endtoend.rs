@@ -10,6 +10,7 @@ use crate::experiments::{Effort, ExperimentOutput};
 use crate::table;
 use hpsparse_datasets::features::{planted_labels, random_features};
 use hpsparse_datasets::registry::by_name;
+use hpsparse_datasets::store;
 use hpsparse_gnn::{
     train_full_graph, train_graph_sampling, BaselineBackend, GcnConfig, HpBackend, TrainConfig,
 };
@@ -77,7 +78,7 @@ pub fn run(effort: Effort) -> ExperimentOutput {
     let mut json_rows = Vec::new();
     for w in &WORKLOADS {
         let spec = by_name(w.dataset).expect("Table V dataset in registry");
-        let g = spec.generate(max_edges);
+        let g = store::graph(&spec, max_edges);
         let features = random_features(g.num_nodes(), in_dim, 0x7ab1e5);
         let labels = planted_labels(&features, classes, 0x7ab1e5);
         for &hidden in &HIDDEN_SIZES {

@@ -16,6 +16,7 @@ use hpsparse_core::hp::{HpSddmm, HpSpmm, HpSpmmLean};
 use hpsparse_core::traits::{SddmmKernel, SpmmKernel};
 use hpsparse_datasets::generators::{GeneratorConfig, Topology};
 use hpsparse_datasets::registry::by_name;
+use hpsparse_datasets::store;
 use hpsparse_sim::DeviceSpec;
 use hpsparse_sparse::BlockedEll;
 use serde_json::json;
@@ -25,7 +26,7 @@ use serde_json::json;
 pub fn run_futurework(effort: Effort) -> ExperimentOutput {
     let device = DeviceSpec::v100();
     let spec = by_name("Flickr").expect("Flickr in registry");
-    let g = spec.generate(effort.max_edges());
+    let g = store::graph(&spec, effort.max_edges());
     let s = g.to_hybrid();
     let mut rows = Vec::new();
     let mut json_rows = Vec::new();
@@ -180,7 +181,7 @@ pub fn run_bell(effort: Effort) -> ExperimentOutput {
 pub fn run_fused(effort: Effort) -> ExperimentOutput {
     let device = DeviceSpec::v100();
     let spec = by_name("CoauthorPhysics").expect("dataset in registry");
-    let g = spec.generate(effort.max_edges());
+    let g = store::graph(&spec, effort.max_edges());
     let s = g.to_hybrid();
     let mut rows = Vec::new();
     let mut json_rows = Vec::new();

@@ -7,8 +7,9 @@ use crate::runner::{
     time_spmm,
 };
 use crate::table;
-use hpsparse_datasets::full_graph_dataset;
+use hpsparse_datasets::{full_graph_dataset, store};
 use hpsparse_sim::DeviceSpec;
+use rayon::prelude::*;
 use serde_json::json;
 
 /// Raw timings for one graph: HP plus every contender, both kernels.
@@ -30,17 +31,22 @@ pub struct GraphRecord {
 }
 
 /// Runs HP + all contenders over the 19 Table II graphs.
+///
+/// Graphs run in parallel, and within a graph every contender launch runs
+/// in parallel too — each `run` builds a private cold-cache simulator, so
+/// launches never share mutable state. Results are `collect`ed in input
+/// order, keeping the rendered tables byte-identical to a sequential run.
 pub fn collect(device: &DeviceSpec, effort: Effort, k: usize) -> Vec<GraphRecord> {
     let spmm_set = spmm_contenders();
     let sddmm_set = sddmm_contenders();
     full_graph_dataset()
-        .into_iter()
+        .into_par_iter()
         .map(|spec| {
-            let g = spec.generate(effort.max_edges());
+            let g = store::graph(&spec, effort.max_edges());
             let (s, a, a1, a2t) = operands(&g, k);
             let hp = time_hp_spmm(device, &s, &a);
             let spmm_baselines = spmm_set
-                .iter()
+                .par_iter()
                 .map(|kern| {
                     (
                         kern.name().to_string(),
@@ -50,7 +56,7 @@ pub fn collect(device: &DeviceSpec, effort: Effort, k: usize) -> Vec<GraphRecord
                 .collect();
             let hp_sd = time_hp_sddmm(device, &s, &a1, &a2t);
             let sddmm_baselines = sddmm_set
-                .iter()
+                .par_iter()
                 .map(|kern| {
                     (
                         kern.name().to_string(),

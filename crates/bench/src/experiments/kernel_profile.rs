@@ -7,6 +7,7 @@ use hpsparse_core::baselines::{CusparseCsrAlg2, DglSddmm, GeSpmm};
 use hpsparse_core::hp::{HpSddmm, HpSpmm};
 use hpsparse_core::traits::{SddmmKernel, SpmmKernel};
 use hpsparse_datasets::registry::by_name;
+use hpsparse_datasets::store;
 use hpsparse_sim::{profile, DeviceSpec};
 use serde_json::json;
 
@@ -14,7 +15,7 @@ use serde_json::json;
 pub fn run(effort: Effort, k: usize) -> ExperimentOutput {
     let device = DeviceSpec::v100();
     let spec = by_name("Flickr").expect("Flickr in registry");
-    let g = spec.generate(effort.max_edges());
+    let g = store::graph(&spec, effort.max_edges());
     let s = g.to_hybrid();
     let a = bench_features(s.cols(), k);
     let a1 = bench_features(s.rows(), k);

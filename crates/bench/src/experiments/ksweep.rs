@@ -7,6 +7,7 @@ use crate::runner::{bench_features, time_hp_spmm, time_spmm};
 use crate::table;
 use hpsparse_core::baselines::{CusparseCsrAlg2, GeSpmm};
 use hpsparse_datasets::registry::by_name;
+use hpsparse_datasets::store;
 use hpsparse_sim::DeviceSpec;
 use serde_json::json;
 
@@ -17,7 +18,7 @@ pub const K_VALUES: [usize; 5] = [16, 32, 64, 128, 256];
 pub fn run(effort: Effort) -> ExperimentOutput {
     let device = DeviceSpec::v100();
     let spec = by_name("Flickr").expect("Flickr in registry");
-    let g = spec.generate(effort.max_edges());
+    let g = store::graph(&spec, effort.max_edges());
     let s = g.to_hybrid();
 
     let mut rows = Vec::new();

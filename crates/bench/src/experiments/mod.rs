@@ -12,6 +12,7 @@ pub mod ksweep;
 pub mod preprocessing;
 pub mod reordering;
 pub mod sampling;
+pub mod selftime;
 pub mod summary;
 pub mod variance;
 
@@ -51,4 +52,75 @@ impl Effort {
             Effort::Full => 838,
         }
     }
+
+    /// The `--quick`/`--full` flag spelling (for logs and JSON).
+    pub fn label(self) -> &'static str {
+        match self {
+            Effort::Quick => "quick",
+            Effort::Full => "full",
+        }
+    }
+}
+
+/// Feature dimension used by the kernel benchmarks (the paper's K = 64).
+pub const DEFAULT_K: usize = 64;
+
+/// Every experiment `repro all` runs, in output order.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "formats",
+    "fig9",
+    "fig9a30",
+    "fig10",
+    "table3",
+    "table4",
+    "tcgnn",
+    "reorder",
+    "fig11",
+    "fig12",
+    "fig13",
+    "alpha",
+    "futurework",
+    "bell",
+    "fused",
+    "table5",
+    "autotune",
+];
+
+/// Runs one experiment by its `repro` name. Returns `None` for unknown
+/// names (including the meta-modes `all` and `selftime`, which the caller
+/// expands itself).
+pub fn dispatch(name: &str, effort: Effort) -> Option<ExperimentOutput> {
+    use hpsparse_sim::DeviceSpec;
+    let k = DEFAULT_K;
+    Some(match name {
+        "fig9" => fullgraph::run(&DeviceSpec::v100(), effort, k),
+        "fig9a30" => {
+            let mut out = fullgraph::run(&DeviceSpec::a30(), effort, k);
+            out.id = "fig9a30";
+            out
+        }
+        "fig10" => sampling::run(&DeviceSpec::v100(), effort, k),
+        "fig10a30" => {
+            let mut out = sampling::run(&DeviceSpec::a30(), effort, k);
+            out.id = "fig10a30";
+            out
+        }
+        "table3" => summary::run(effort, k),
+        "table4" => preprocessing::run_table4(effort, k),
+        "tcgnn" => preprocessing::run_tcgnn(effort, k),
+        "reorder" => reordering::run(effort, k),
+        "fig11" => ablation::run(effort, k),
+        "fig12" => variance::run(effort, k),
+        "fig13" => ksweep::run(effort),
+        "alpha" => ablation::alpha_sweep(effort, k),
+        "futurework" => extensions::run_futurework(effort),
+        "bell" => extensions::run_bell(effort),
+        "fused" => extensions::run_fused(effort),
+        "table5" => endtoend::run(effort),
+        "autotune" => autotune::run(&DeviceSpec::v100(), effort, k),
+        "formats" => formats::run(effort, k),
+        "profile" => kernel_profile::run(effort, k),
+        "datasets" => datasets_table::run(effort),
+        _ => return None,
+    })
 }

@@ -8,6 +8,7 @@ use crate::table;
 use hpsparse_core::baselines::{Aspt, Huang, MergePath, Sputnik, TcGnn};
 use hpsparse_core::traits::SpmmKernel;
 use hpsparse_datasets::registry::by_name;
+use hpsparse_datasets::store;
 use hpsparse_sim::DeviceSpec;
 use serde_json::json;
 
@@ -25,7 +26,7 @@ pub fn run_table4(effort: Effort, k: usize) -> ExperimentOutput {
     let mut json_rows = Vec::new();
     for name in graphs {
         let spec = by_name(name).expect("Table IV graph in registry");
-        let g = spec.generate(effort.max_edges());
+        let g = store::graph(&spec, effort.max_edges());
         let s = g.to_hybrid();
         let a = bench_features(s.cols(), k);
         let mut row = vec![name.to_string()];
@@ -77,7 +78,7 @@ pub fn run_table4(effort: Effort, k: usize) -> ExperimentOutput {
 pub fn run_tcgnn(effort: Effort, k: usize) -> ExperimentOutput {
     let device = DeviceSpec::rtx3090();
     let spec = by_name("Yelp").expect("Yelp in registry");
-    let g = spec.generate(effort.max_edges());
+    let g = store::graph(&spec, effort.max_edges());
     let s = g.to_hybrid();
     let a = bench_features(s.cols(), k);
     let hp = time_hp_spmm(&device, &s, &a);

@@ -10,6 +10,7 @@ use crate::experiments::{Effort, ExperimentOutput};
 use crate::runner::{bench_features, time_hp_spmm};
 use crate::table;
 use hpsparse_datasets::registry::by_name;
+use hpsparse_datasets::store;
 use hpsparse_reorder::{
     advisor_reorder, avg_neighbor_distance, gcr_reorder, lsh_pair_merge_reorder,
 };
@@ -20,7 +21,7 @@ use serde_json::json;
 /// Runs the three reorderers on `proteins` and reports runtime + quality.
 pub fn run(effort: Effort, k: usize) -> ExperimentOutput {
     let spec = by_name("proteins").expect("proteins in registry");
-    let g = spec.generate(effort.max_edges());
+    let g = store::graph(&spec, effort.max_edges());
     let device = DeviceSpec::v100();
 
     let baseline_locality = avg_neighbor_distance(&g);

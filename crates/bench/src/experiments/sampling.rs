@@ -12,8 +12,9 @@ use crate::runner::{
     time_spmm,
 };
 use crate::table;
-use hpsparse_datasets::sampling_corpus;
+use hpsparse_datasets::store;
 use hpsparse_sim::DeviceSpec;
+use rayon::prelude::*;
 use serde_json::json;
 
 /// Speedup samples for one baseline across the corpus.
@@ -43,8 +44,13 @@ impl BaselineStats {
 
 /// Runs the corpus and gathers per-baseline speedup distributions, plus
 /// each subgraph's edge count (aligned with the speedup vectors).
+///
+/// Subgraphs run in parallel (each launch builds its own simulator); the
+/// per-graph results are then folded into the per-baseline vectors
+/// **in corpus order**, so every speedup vector — and everything derived
+/// from it, percentiles included — matches the sequential run exactly.
 pub fn collect(device: &DeviceSpec, effort: Effort, k: usize) -> (Vec<BaselineStats>, Vec<usize>) {
-    let corpus = sampling_corpus(effort.corpus_size(), 0xc0ffee);
+    let corpus = store::corpus(effort.corpus_size(), 0xc0ffee);
     let spmm_set = spmm_contenders();
     let sddmm_set = sddmm_contenders();
     let mut stats: Vec<BaselineStats> = spmm_set
@@ -60,22 +66,37 @@ pub fn collect(device: &DeviceSpec, effort: Effort, k: usize) -> (Vec<BaselineSt
             speedups: Vec::new(),
         }))
         .collect();
-    let mut sizes = Vec::with_capacity(corpus.len());
 
-    for g in &corpus {
-        let (s, a, a1, a2t) = operands(g, k);
-        sizes.push(s.nnz());
-        let hp = time_hp_spmm(device, &s, &a);
-        for (i, kern) in spmm_set.iter().enumerate() {
-            let t = time_spmm(kern.as_ref(), device, &s, &a);
-            stats[i].speedups.push(t.exec_ms / hp.exec_ms);
+    // (nnz, per-spmm-baseline speedups, per-sddmm-baseline speedups).
+    type GraphResult = (usize, Vec<f64>, Vec<f64>);
+    let per_graph: Vec<GraphResult> = corpus
+        .par_iter()
+        .map(|g| {
+            let (s, a, a1, a2t) = operands(g, k);
+            let hp = time_hp_spmm(device, &s, &a);
+            let spmm: Vec<f64> = spmm_set
+                .iter()
+                .map(|kern| time_spmm(kern.as_ref(), device, &s, &a).exec_ms / hp.exec_ms)
+                .collect();
+            let hp_sd = time_hp_sddmm(device, &s, &a1, &a2t);
+            let sddmm: Vec<f64> = sddmm_set
+                .iter()
+                .map(|kern| {
+                    time_sddmm(kern.as_ref(), device, &s, &a1, &a2t).exec_ms / hp_sd.exec_ms
+                })
+                .collect();
+            (s.nnz(), spmm, sddmm)
+        })
+        .collect();
+
+    let mut sizes = Vec::with_capacity(per_graph.len());
+    for (nnz, spmm, sddmm) in per_graph {
+        sizes.push(nnz);
+        for (i, sp) in spmm.into_iter().enumerate() {
+            stats[i].speedups.push(sp);
         }
-        let hp_sd = time_hp_sddmm(device, &s, &a1, &a2t);
-        for (i, kern) in sddmm_set.iter().enumerate() {
-            let t = time_sddmm(kern.as_ref(), device, &s, &a1, &a2t);
-            stats[spmm_set.len() + i]
-                .speedups
-                .push(t.exec_ms / hp_sd.exec_ms);
+        for (i, sp) in sddmm.into_iter().enumerate() {
+            stats[spmm_set.len() + i].speedups.push(sp);
         }
     }
     (stats, sizes)

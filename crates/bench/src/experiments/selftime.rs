@@ -1,0 +1,54 @@
+//! `repro selftime` — wall-clock self-benchmark of the repro harness.
+//!
+//! Runs every experiment of `repro all` at the requested effort, measuring
+//! each one's wall time (output text is produced and discarded). The JSON
+//! side is what `BENCH_repro.json` records: per-experiment seconds plus the
+//! thread count, so speedups from the parallel harness can be tracked
+//! across commits and core counts.
+
+use crate::experiments::{dispatch, Effort, ExperimentOutput, ALL_EXPERIMENTS};
+use serde_json::json;
+use std::time::Instant;
+
+/// Times every `repro all` experiment and reports the breakdown.
+pub fn run(effort: Effort) -> ExperimentOutput {
+    let started = Instant::now();
+    let mut entries = Vec::with_capacity(ALL_EXPERIMENTS.len());
+    for &name in ALL_EXPERIMENTS {
+        let t0 = Instant::now();
+        let out = dispatch(name, effort).expect("ALL_EXPERIMENTS entries are dispatchable");
+        let seconds = t0.elapsed().as_secs_f64();
+        // The experiment's own output is discarded — only its cost matters
+        // here — but record its size as a sanity witness that it ran.
+        entries.push((name, seconds, out.text.len()));
+    }
+    let total = started.elapsed().as_secs_f64();
+
+    let mut text = format!(
+        "repro selftime — effort {}, {} threads\n\n",
+        effort.label(),
+        rayon::current_num_threads()
+    );
+    for (name, seconds, _) in &entries {
+        text.push_str(&format!("  {name:<12} {seconds:8.2}s\n"));
+    }
+    text.push_str(&format!("  {:<12} {total:8.2}s\n", "total"));
+
+    let json_entries: Vec<serde_json::Value> = entries
+        .iter()
+        .map(|(name, seconds, text_len)| {
+            json!({ "experiment": name, "seconds": seconds, "output_bytes": text_len })
+        })
+        .collect();
+    ExperimentOutput {
+        id: "selftime",
+        text,
+        json: json!({
+            "mode": "selftime",
+            "effort": effort.label(),
+            "threads": rayon::current_num_threads(),
+            "experiments": json_entries,
+            "total_seconds": total,
+        }),
+    }
+}

@@ -47,7 +47,8 @@ pub fn par_spmm_row(s: &Csr, a: &Dense) -> Result<Dense, FormatError> {
 /// Hybrid-parallel CPU SpMM over the hybrid format: the element range is
 /// cut into `chunk`-sized tasks regardless of row boundaries; each task
 /// accumulates into a private sparse set of rows which are then merged.
-/// `chunk = 0` picks a size that yields ~8 tasks per rayon thread.
+/// `chunk = 0` picks a default size from the problem alone (never from the
+/// thread count, so results are bit-identical at any `RAYON_NUM_THREADS`).
 pub fn par_spmm_hybrid(s: &Hybrid, a: &Dense, chunk: usize) -> Result<Dense, FormatError> {
     if s.cols() != a.rows() {
         return Err(FormatError::DimensionMismatch {
@@ -57,7 +58,9 @@ pub fn par_spmm_hybrid(s: &Hybrid, a: &Dense, chunk: usize) -> Result<Dense, For
     let k = a.cols();
     let nnz = s.nnz();
     let chunk = if chunk == 0 {
-        (nnz / (rayon::current_num_threads() * 8)).max(1024)
+        // ~64 tasks regardless of pool size: enough slack for any
+        // realistic core count while keeping the merge order fixed.
+        (nnz / 64).max(1024)
     } else {
         chunk.max(1)
     };

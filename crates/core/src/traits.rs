@@ -54,7 +54,11 @@ impl SddmmRun {
 /// CSR/COO form (kernels that natively want CSR re-encode internally and
 /// account that as preprocessing or as part of execution, matching how the
 /// paper treats each baseline).
-pub trait SpmmKernel {
+///
+/// Kernels are `Send + Sync` so contender sets (`Vec<Box<dyn SpmmKernel>>`)
+/// can be shared across the parallel experiment runners; every
+/// implementation is stateless configuration, so this costs nothing.
+pub trait SpmmKernel: Send + Sync {
     /// Kernel name as used in the paper's figures.
     fn name(&self) -> &'static str;
 
@@ -71,7 +75,9 @@ pub trait SpmmKernel {
 /// A simulated SDDMM kernel: computes `S_O = (A1 · A2) ⊙ S`. `a1` is
 /// `M × K` and `a2t` is the *transposed* second operand (`N × K`
 /// row-major), the layout Algorithm 4 reads.
-pub trait SddmmKernel {
+///
+/// `Send + Sync` for the same reason as [`SpmmKernel`].
+pub trait SddmmKernel: Send + Sync {
     /// Kernel name as used in the paper's figures.
     fn name(&self) -> &'static str;
 

@@ -14,6 +14,7 @@ pub mod features;
 pub mod generators;
 pub mod registry;
 pub mod sampling;
+pub mod store;
 pub mod variance;
 
 pub use generators::{GeneratorConfig, Topology};

@@ -32,8 +32,10 @@ pub fn matmul_transpose_a(a: &Dense, b: &Dense) -> Dense {
     assert_eq!(a.rows(), b.rows(), "matmul_transpose_a outer dimensions");
     let (k, m, n) = (a.rows(), a.cols(), b.cols());
     // Parallelise over rows of the output (columns of A) by splitting the
-    // reduction across thread-local accumulators.
-    let num_chunks = rayon::current_num_threads().max(1);
+    // reduction across chunk-local accumulators. The chunk count is fixed
+    // (never derived from the thread count) so the merge order — and hence
+    // the float result, bit for bit — is identical at any RAYON_NUM_THREADS.
+    let num_chunks = 16.min(k.max(1));
     let chunk = k.div_ceil(num_chunks);
     let partials: Vec<Vec<f32>> = (0..num_chunks)
         .into_par_iter()

@@ -7,13 +7,26 @@
 
 use crate::memory::SECTOR_BYTES;
 
+/// One cache line: the resident sector tag (`u64::MAX` = empty) and the
+/// monotonic timestamp driving LRU choice. Tag and stamp are interleaved so
+/// the probe loop walks one contiguous strip of memory per set instead of
+/// two parallel arrays.
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    stamp: u64,
+}
+
+const EMPTY: Line = Line {
+    tag: u64::MAX,
+    stamp: 0,
+};
+
 /// A set-associative, LRU-replacement cache over 32-byte sectors.
 #[derive(Debug, Clone)]
 pub struct SectorCache {
-    /// `ways[set * assoc + i]` holds the sector tag or `u64::MAX` if empty.
-    ways: Vec<u64>,
-    /// Monotonic per-line timestamps driving LRU choice.
-    stamps: Vec<u64>,
+    /// `lines[set * assoc + i]`, ways of a set contiguous.
+    lines: Vec<Line>,
     assoc: usize,
     num_sets: usize,
     tick: u64,
@@ -38,8 +51,7 @@ impl SectorCache {
         }
         .max(1);
         Self {
-            ways: vec![u64::MAX; num_sets * assoc],
-            stamps: vec![0; num_sets * assoc],
+            lines: vec![EMPTY; num_sets * assoc],
             assoc,
             num_sets,
             tick: 0,
@@ -50,30 +62,37 @@ impl SectorCache {
 
     /// Probes the cache with a byte address; inserts the sector on miss.
     /// Returns `true` on hit.
+    ///
+    /// This is the single hottest function in the simulator (every modelled
+    /// global-memory sector passes through it), so the set is scanned once:
+    /// the same pass that looks for the tag also remembers the LRU victim,
+    /// and empty ways short-circuit as immediate victims (stamp 0 is older
+    /// than any occupied line since `tick` starts at 1).
     pub fn access(&mut self, byte_addr: u64) -> bool {
         let sector = byte_addr / SECTOR_BYTES as u64;
         let set = (sector as usize) & (self.num_sets - 1);
         let base = set * self.assoc;
         self.tick += 1;
-        let ways = &mut self.ways[base..base + self.assoc];
-        if let Some(i) = ways.iter().position(|&w| w == sector) {
-            self.stamps[base + i] = self.tick;
-            self.hits += 1;
-            return true;
+        let set_lines = &mut self.lines[base..base + self.assoc];
+        let mut victim = 0usize;
+        let mut victim_stamp = u64::MAX;
+        for (i, line) in set_lines.iter().enumerate() {
+            if line.tag == sector {
+                set_lines[i].stamp = self.tick;
+                self.hits += 1;
+                return true;
+            }
+            let stamp = if line.tag == u64::MAX { 0 } else { line.stamp };
+            if stamp < victim_stamp {
+                victim_stamp = stamp;
+                victim = i;
+            }
         }
         self.misses += 1;
-        // Pick an empty way or the least recently used one.
-        let victim = (0..self.assoc)
-            .min_by_key(|&i| {
-                if self.ways[base + i] == u64::MAX {
-                    0
-                } else {
-                    self.stamps[base + i]
-                }
-            })
-            .unwrap();
-        self.ways[base + victim] = sector;
-        self.stamps[base + victim] = self.tick;
+        set_lines[victim] = Line {
+            tag: sector,
+            stamp: self.tick,
+        };
         false
     }
 
@@ -104,8 +123,7 @@ impl SectorCache {
 
     /// Clears contents and statistics.
     pub fn reset(&mut self) {
-        self.ways.fill(u64::MAX);
-        self.stamps.fill(0);
+        self.lines.fill(EMPTY);
         self.tick = 0;
         self.hits = 0;
         self.misses = 0;

@@ -139,21 +139,27 @@ impl GpuSim {
         let mut sum_warp_cycles = 0f64;
         let mut schedule_cycles = 0f64;
 
+        // One tally and one set of per-SM accumulators serve the whole
+        // launch; per-warp/per-wave state is reset in place. This keeps the
+        // inner loop (millions of warps for the large graphs) free of heap
+        // allocation.
+        let mut tally = WarpTally::new(&mut self.l2, self.device.warp_size);
+        let mut sm_sum = vec![0f64; num_sms];
+        let mut sm_max_block = vec![0f64; num_sms];
+
         let mut warp_id: u64 = 0;
         let mut block_id: u64 = 0;
         for _wave in 0..num_waves {
-            // Per-SM accounting for this wave.
-            let mut sm_sum = vec![0f64; num_sms];
-            let mut sm_max_block = vec![0f64; num_sms];
+            sm_sum.fill(0.0);
+            sm_max_block.fill(0.0);
             let blocks_this_wave = occ.full_wave_size.min(blocks - block_id);
             for slot in 0..blocks_this_wave {
                 let sm = (slot as usize) % num_sms;
                 let mut block_max = 0f64;
                 let warps_in_block = wpb.min(config.num_warps - warp_id);
                 for _ in 0..warps_in_block {
-                    let mut tally = WarpTally::new(&mut self.l2, self.device.warp_size);
                     body(warp_id, &mut tally);
-                    let counters = tally.finish();
+                    let counters = tally.take_counters();
                     let wc = counters.cycles(&cost);
                     totals.add(&counters);
                     sum_warp_cycles += wc;

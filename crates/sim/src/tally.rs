@@ -57,10 +57,20 @@ impl WarpCounters {
 }
 
 /// Recorder handed to a kernel for each warp it simulates.
+///
+/// One tally is reused across every warp of a launch ([`take_counters`]
+/// resets it between warps), so its scratch storage — the sector buffer
+/// behind [`global_gather`] — is allocated once per launch instead of once
+/// per warp.
+///
+/// [`take_counters`]: WarpTally::take_counters
+/// [`global_gather`]: WarpTally::global_gather
 pub struct WarpTally<'a> {
     cache: &'a mut SectorCache,
     warp_size: u32,
     counters: WarpCounters,
+    /// Reused between gathers; cleared on use, never shrunk.
+    gather_scratch: Vec<u64>,
 }
 
 impl<'a> WarpTally<'a> {
@@ -70,12 +80,19 @@ impl<'a> WarpTally<'a> {
             cache,
             warp_size,
             counters: WarpCounters::default(),
+            gather_scratch: Vec::new(),
         }
     }
 
     /// Finishes the warp, returning its counters.
     pub fn finish(self) -> WarpCounters {
         self.counters
+    }
+
+    /// Takes the counters accumulated so far and resets them to zero,
+    /// keeping the tally (and its scratch buffers) alive for the next warp.
+    pub fn take_counters(&mut self) -> WarpCounters {
+        std::mem::take(&mut self.counters)
     }
 
     /// Current counters (for inspection mid-warp in tests).
@@ -125,7 +142,8 @@ impl<'a> WarpTally<'a> {
     /// the same sectors).
     pub fn global_gather(&mut self, addrs: impl IntoIterator<Item = u64>, bytes_each: u64) {
         self.counters.instructions += 1;
-        let mut sectors: Vec<u64> = Vec::with_capacity(self.warp_size as usize);
+        let sectors = &mut self.gather_scratch;
+        sectors.clear();
         for a in addrs {
             for s in sectors_of_range(a, bytes_each) {
                 sectors.push(s);
@@ -134,7 +152,7 @@ impl<'a> WarpTally<'a> {
         }
         sectors.sort_unstable();
         sectors.dedup();
-        for s in sectors {
+        for &s in sectors.iter() {
             self.counters.transactions += 1;
             if self.cache.access(s) {
                 self.counters.l2_hit_sectors += 1;

@@ -1,0 +1,617 @@
+//! Parallel iterators over exactly-sized, splittable producers.
+//!
+//! Everything here drives work through one divide-and-conquer scheme:
+//! an iterator of known length is split at its midpoint until pieces are
+//! at most [`leaf_len`] items, and the pieces execute as [`crate::join`]
+//! tasks. The split tree depends **only on the input length** — never on
+//! the thread count or on runtime timing — so order-sensitive results
+//! (float sums, `reduce` trees, `collect` element order) are bit-identical
+//! under any `RAYON_NUM_THREADS`, including 1. That determinism guarantee
+//! is stronger than real rayon's and is load-bearing for the `repro`
+//! harness, whose output must not depend on the host's core count.
+
+use crate::pool;
+
+/// Upper bound on leaf tasks per drive: enough slack for work-stealing to
+/// balance skewed item costs on any plausible core count, while keeping
+/// per-task queue overhead negligible for million-element iterators.
+const TARGET_LEAVES: usize = 512;
+
+/// Leaf granularity for an input of `total` items (length-only, see the
+/// module docs on determinism).
+fn leaf_len(total: usize) -> usize {
+    total.div_ceil(TARGET_LEAVES).max(1)
+}
+
+/// An exactly-sized, midpoint-splittable parallel iterator.
+///
+/// The required surface is a producer (length / split / sequential drain);
+/// the provided methods are the rayon adaptors and drivers this workspace
+/// consumes: `map`, `enumerate`, `zip`, `for_each`, `reduce`, `sum`,
+/// `collect`, `count`.
+pub trait ParallelIterator: Sized + Send {
+    /// Item the iterator yields.
+    type Item: Send;
+    /// Sequential iterator over the same items, in the same order.
+    type SeqIter: Iterator<Item = Self::Item>;
+
+    /// Exact number of items remaining.
+    fn len(&self) -> usize;
+
+    /// Whether the iterator is exhausted.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Splits into the first `index` items and the rest.
+    fn split_at(self, index: usize) -> (Self, Self);
+
+    /// Converts into the equivalent sequential iterator.
+    fn into_seq(self) -> Self::SeqIter;
+
+    /// Maps every item through `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync + Send + Clone,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pairs every item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            base: self,
+            offset: 0,
+        }
+    }
+
+    /// Zips with another parallel iterator, truncating to the shorter.
+    fn zip<B>(self, other: B) -> Zip<Self, B::Iter>
+    where
+        B: IntoParallelIterator,
+    {
+        let b = other.into_par_iter();
+        let n = self.len().min(b.len());
+        let (a, _) = self.split_at(n);
+        let (b, _) = b.split_at(n);
+        Zip { a, b }
+    }
+
+    /// Calls `f` on every item (items run in parallel; each item exactly
+    /// once).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        let leaf = leaf_len(self.len());
+        drive_for_each(self, &f, leaf);
+    }
+
+    /// Reduces items with `op`; `identity()` is returned for an empty
+    /// iterator. The reduction tree is fixed by the input length, so
+    /// non-associative `op`s (float adds) still give thread-count-stable
+    /// results.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+        ID: FnOnce() -> Self::Item,
+    {
+        let leaf = leaf_len(self.len());
+        match drive_reduce(self, &op, leaf) {
+            Some(v) => v,
+            None => identity(),
+        }
+    }
+
+    /// Sums the items (same fixed-tree determinism as [`Self::reduce`]).
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        let leaf = leaf_len(self.len());
+        drive_sum(self, leaf)
+    }
+
+    /// Collects into `C`, preserving item order exactly as the sequential
+    /// iterator would.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Number of items (consumes, matching rayon's signature).
+    fn count(self) -> usize {
+        self.len()
+    }
+}
+
+fn drive_for_each<I, F>(it: I, f: &F, leaf: usize)
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) + Sync,
+{
+    if it.len() <= leaf || pool::current_num_threads() <= 1 {
+        // Sequential shortcut is safe for side-effect drives: leaves run
+        // left-to-right either way, and grouping is unobservable.
+        it.into_seq().for_each(f);
+    } else {
+        let mid = it.len() / 2;
+        let (l, r) = it.split_at(mid);
+        crate::join(|| drive_for_each(l, f, leaf), || drive_for_each(r, f, leaf));
+    }
+}
+
+// No single-thread shortcut here: the combine tree must be identical at
+// every thread count for float determinism.
+fn drive_reduce<I, OP>(it: I, op: &OP, leaf: usize) -> Option<I::Item>
+where
+    I: ParallelIterator,
+    OP: Fn(I::Item, I::Item) -> I::Item + Sync,
+{
+    if it.len() <= leaf {
+        it.into_seq().reduce(op)
+    } else {
+        let mid = it.len() / 2;
+        let (l, r) = it.split_at(mid);
+        let (a, b) = crate::join(|| drive_reduce(l, op, leaf), || drive_reduce(r, op, leaf));
+        match (a, b) {
+            (Some(a), Some(b)) => Some(op(a, b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+fn drive_sum<I, S>(it: I, leaf: usize) -> S
+where
+    I: ParallelIterator,
+    S: Send + std::iter::Sum<I::Item> + std::iter::Sum<S>,
+{
+    if it.len() <= leaf {
+        it.into_seq().sum()
+    } else {
+        let mid = it.len() / 2;
+        let (l, r) = it.split_at(mid);
+        let (a, b) = crate::join(|| drive_sum::<I, S>(l, leaf), || drive_sum::<I, S>(r, leaf));
+        [a, b].into_iter().sum()
+    }
+}
+
+/// Conversion from a parallel iterator (rayon's collect target trait).
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Builds `Self` from the items of `iter`, in iterator order.
+    fn from_par_iter<I>(iter: I) -> Self
+    where
+        I: ParallelIterator<Item = T>;
+}
+
+struct SendPtr<T>(*mut T);
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+// Safety: used only to write disjoint index ranges of one allocation from
+// the collect drive below.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I>(iter: I) -> Self
+    where
+        I: ParallelIterator<Item = T>,
+    {
+        let len = iter.len();
+        let mut out: Vec<T> = Vec::with_capacity(len);
+        let base = SendPtr(out.as_mut_ptr());
+        drive_collect(iter, base, 0, leaf_len(len));
+        // Safety: drive_collect wrote exactly `len` initialized elements
+        // at disjoint offsets (or panicked, leaving len 0).
+        unsafe { out.set_len(len) };
+        out
+    }
+}
+
+fn drive_collect<I>(it: I, base: SendPtr<I::Item>, offset: usize, leaf: usize)
+where
+    I: ParallelIterator,
+{
+    let n = it.len();
+    if n <= leaf || pool::current_num_threads() <= 1 {
+        let mut wrote = 0usize;
+        let mut p = unsafe { base.0.add(offset) };
+        for item in it.into_seq() {
+            assert!(
+                wrote < n,
+                "parallel iterator yielded more items than its reported length"
+            );
+            unsafe {
+                p.write(item);
+                p = p.add(1);
+            }
+            wrote += 1;
+        }
+        assert_eq!(
+            wrote, n,
+            "parallel iterator yielded fewer items than its reported length"
+        );
+    } else {
+        let mid = n / 2;
+        let (l, r) = it.split_at(mid);
+        crate::join(
+            move || drive_collect(l, base, offset, leaf),
+            move || drive_collect(r, base, offset + mid, leaf),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptors
+// ---------------------------------------------------------------------------
+
+/// Parallel `map` (see [`ParallelIterator::map`]).
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> R + Sync + Send + Clone,
+    R: Send,
+{
+    type Item = R;
+    type SeqIter = std::iter::Map<I::SeqIter, F>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Map {
+                base: l,
+                f: self.f.clone(),
+            },
+            Map { base: r, f: self.f },
+        )
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.base.into_seq().map(self.f)
+    }
+}
+
+/// Parallel `enumerate` (see [`ParallelIterator::enumerate`]).
+pub struct Enumerate<I> {
+    base: I,
+    offset: usize,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    type SeqIter = std::iter::Zip<std::ops::Range<usize>, I::SeqIter>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Enumerate {
+                base: l,
+                offset: self.offset,
+            },
+            Enumerate {
+                base: r,
+                offset: self.offset + index,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        let range = self.offset..self.offset + self.base.len();
+        range.zip(self.base.into_seq())
+    }
+}
+
+/// Parallel `zip` (see [`ParallelIterator::zip`]); both sides already
+/// truncated to equal length.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    type SeqIter = std::iter::Zip<A::SeqIter, B::SeqIter>;
+
+    fn len(&self) -> usize {
+        self.a.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(index);
+        let (bl, br) = self.b.split_at(index);
+        (Zip { a: al, b: bl }, Zip { a: ar, b: br })
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Producers
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over a `Range<usize>`.
+pub struct ParRange {
+    start: usize,
+    end: usize,
+}
+
+impl ParallelIterator for ParRange {
+    type Item = usize;
+    type SeqIter = std::ops::Range<usize>;
+
+    fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = self.start + index;
+        debug_assert!(mid <= self.end);
+        (
+            ParRange {
+                start: self.start,
+                end: mid,
+            },
+            ParRange {
+                start: mid,
+                end: self.end,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.start..self.end
+    }
+}
+
+/// Parallel iterator owning a `Vec`'s items.
+pub struct ParVec<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParVec<T> {
+    type Item = T;
+    type SeqIter = std::vec::IntoIter<T>;
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn split_at(mut self, index: usize) -> (Self, Self) {
+        let tail = self.items.split_off(index);
+        (self, ParVec { items: tail })
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.items.into_iter()
+    }
+}
+
+/// Parallel iterator over `&[T]` (rayon's `par_iter`).
+pub struct ParSliceIter<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParSliceIter<'a, T> {
+    type Item = &'a T;
+    type SeqIter = std::slice::Iter<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(index);
+        (ParSliceIter { slice: l }, ParSliceIter { slice: r })
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.iter()
+    }
+}
+
+/// Parallel iterator over `&mut [T]` (rayon's `par_iter_mut`).
+pub struct ParSliceIterMut<'a, T: Send> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for ParSliceIterMut<'a, T> {
+    type Item = &'a mut T;
+    type SeqIter = std::slice::IterMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at_mut(index);
+        (ParSliceIterMut { slice: l }, ParSliceIterMut { slice: r })
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.iter_mut()
+    }
+}
+
+/// Parallel iterator over immutable chunks (rayon's `par_chunks`).
+pub struct ParChunks<'a, T: Sync> {
+    slice: &'a [T],
+    chunk: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+    type SeqIter = std::slice::Chunks<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let elems = (index * self.chunk).min(self.slice.len());
+        let (l, r) = self.slice.split_at(elems);
+        (
+            ParChunks {
+                slice: l,
+                chunk: self.chunk,
+            },
+            ParChunks {
+                slice: r,
+                chunk: self.chunk,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.chunks(self.chunk)
+    }
+}
+
+/// Parallel iterator over mutable chunks (rayon's `par_chunks_mut`).
+pub struct ParChunksMut<'a, T: Send> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ParChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    type SeqIter = std::slice::ChunksMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let elems = (index * self.chunk).min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(elems);
+        (
+            ParChunksMut {
+                slice: l,
+                chunk: self.chunk,
+            },
+            ParChunksMut {
+                slice: r,
+                chunk: self.chunk,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.chunks_mut(self.chunk)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry-point traits
+// ---------------------------------------------------------------------------
+
+/// Converts collections into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Iterator type produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type.
+    type Item: Send;
+
+    /// Consumes `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: ParallelIterator> IntoParallelIterator for I {
+    type Iter = I;
+    type Item = I::Item;
+
+    fn into_par_iter(self) -> I {
+        self
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = ParRange;
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParRange {
+        ParRange {
+            start: self.start,
+            end: self.end,
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = ParVec<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { items: self }
+    }
+}
+
+/// Shared-slice access in rayon's naming.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over shared references.
+    fn par_iter(&self) -> ParSliceIter<'_, T>;
+    /// Parallel iterator over `chunk_size`-sized pieces (last may be
+    /// short). Panics if `chunk_size` is zero.
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParSliceIter<'_, T> {
+        ParSliceIter { slice: self }
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "par_chunks: chunk size must be non-zero");
+        ParChunks {
+            slice: self,
+            chunk: chunk_size,
+        }
+    }
+}
+
+/// Mutable-slice access in rayon's naming.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over mutable references.
+    fn par_iter_mut(&mut self) -> ParSliceIterMut<'_, T>;
+    /// Parallel iterator over mutable `chunk_size`-sized pieces. Panics if
+    /// `chunk_size` is zero.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParSliceIterMut<'_, T> {
+        ParSliceIterMut { slice: self }
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(
+            chunk_size > 0,
+            "par_chunks_mut: chunk size must be non-zero"
+        );
+        ParChunksMut {
+            slice: self,
+            chunk: chunk_size,
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! The thread pool behind the shim: a shared-injector, help-first executor.
+//!
+//! Worker threads (`RAYON_NUM_THREADS - 1` of them; the caller is the last
+//! worker) block on a queue of type-erased [`JobRef`]s. [`join`] pushes its
+//! second closure so an idle worker can steal it, runs the first closure
+//! inline, then either reclaims the unstolen job or *helps* — executing
+//! other queued jobs while waiting — so nested joins can never deadlock:
+//! a thread waiting on a latch always drains the queue it could be stuck
+//! behind. Panics inside stolen jobs are caught on the worker, carried
+//! through the latch, and resumed on the thread that owns the join.
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, Once, OnceLock};
+use std::time::Duration;
+
+/// A type-erased pointer to a pending job plus its executor function. The
+/// pointee lives on the stack frame of a `join` (which does not return
+/// until the job ran) or on the heap (scope spawns, freed on execution).
+#[derive(Clone, Copy)]
+struct JobRef {
+    data: *const (),
+    execute: unsafe fn(*const ()),
+}
+
+// Safety: every JobRef is built from a job whose captured state is `Send`,
+// and the owning stack frame outlives execution (join/scope block on a
+// latch before returning).
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    unsafe fn run(self) {
+        unsafe { (self.execute)(self.data) }
+    }
+}
+
+pub(crate) struct Pool {
+    queue: Mutex<VecDeque<JobRef>>,
+    work_available: Condvar,
+    threads: usize,
+}
+
+impl Pool {
+    fn push(&self, job: JobRef) {
+        self.queue.lock().unwrap().push_back(job);
+        self.work_available.notify_one();
+    }
+
+    fn try_pop(&self) -> Option<JobRef> {
+        self.queue.lock().unwrap().pop_front()
+    }
+
+    /// Removes `job` if nobody has stolen it yet (a joiner reclaiming its
+    /// own pushed work to run inline).
+    fn unqueue(&self, job: JobRef) -> bool {
+        let mut q = self.queue.lock().unwrap();
+        // Jobs are identified by their data pointer (a unique stack or heap
+        // address); comparing the fn pointer too would be redundant and is
+        // unreliable across codegen units.
+        if let Some(pos) = q.iter().position(|j| std::ptr::eq(j.data, job.data)) {
+            q.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Waits for `done`, executing other queued jobs in the meantime so
+    /// saturated nested joins make progress instead of deadlocking.
+    fn wait_while_helping(&self, done: &AtomicBool) {
+        let mut idle_spins = 0u32;
+        while !done.load(Ordering::Acquire) {
+            if let Some(job) = self.try_pop() {
+                unsafe { job.run() };
+                idle_spins = 0;
+            } else if idle_spins < 128 {
+                std::hint::spin_loop();
+                idle_spins += 1;
+            } else {
+                // The awaited job is long and the queue is dry: back off so
+                // an oversubscribed pool does not burn the core the worker
+                // needs.
+                std::thread::yield_now();
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn configured_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            // 0 or garbage falls back to the hardware count, like rayon.
+            _ => default_threads(),
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+static WORKERS_STARTED: Once = Once::new();
+
+pub(crate) fn global() -> &'static Pool {
+    let pool = POOL.get_or_init(|| Pool {
+        queue: Mutex::new(VecDeque::new()),
+        work_available: Condvar::new(),
+        threads: configured_threads(),
+    });
+    WORKERS_STARTED.call_once(|| {
+        // The calling thread is worker 0 (it helps while waiting).
+        for i in 1..pool.threads {
+            std::thread::Builder::new()
+                .name(format!("hpsparse-rayon-{i}"))
+                .spawn(move || worker_loop(pool))
+                .expect("spawn shim worker thread");
+        }
+    });
+    pool
+}
+
+fn worker_loop(pool: &'static Pool) {
+    loop {
+        let job = {
+            let mut q = pool.queue.lock().unwrap();
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break j;
+                }
+                q = pool.work_available.wait(q).unwrap();
+            }
+        };
+        // Jobs catch panics internally; a worker never unwinds.
+        unsafe { job.run() };
+    }
+}
+
+/// Number of worker threads in the pool (`RAYON_NUM_THREADS`, defaulting
+/// to the hardware parallelism).
+pub fn current_num_threads() -> usize {
+    global().threads
+}
+
+/// A join's second closure, parked on the joiner's stack while stealable.
+struct StackJob<F, R> {
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+    done: AtomicBool,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    fn new(func: F) -> Self {
+        Self {
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(None),
+            done: AtomicBool::new(false),
+        }
+    }
+
+    unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef {
+            data: self as *const Self as *const (),
+            execute: Self::execute,
+        }
+    }
+
+    unsafe fn execute(data: *const ()) {
+        let this = unsafe { &*(data as *const Self) };
+        let func = unsafe { (*this.func.get()).take() }.expect("job executed twice");
+        let result = panic::catch_unwind(AssertUnwindSafe(func));
+        unsafe { *this.result.get() = Some(result) };
+        this.done.store(true, Ordering::Release);
+    }
+
+    fn run_inline(&self) {
+        unsafe { Self::execute(self as *const Self as *const ()) }
+    }
+
+    /// Takes the result, re-raising a panic the job caught on its executor.
+    fn unwrap_result(&self) -> R {
+        let result = unsafe { (*self.result.get()).take() }.expect("join result missing");
+        match result {
+            Ok(v) => v,
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+
+    fn discard_result(&self) {
+        let _ = unsafe { (*self.result.get()).take() };
+    }
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+/// Panics from either closure propagate to the caller (the first closure's
+/// panic wins when both unwind).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let pool = global();
+    if pool.threads <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+
+    let job_b = StackJob::new(b);
+    let job_ref = unsafe { job_b.as_job_ref() };
+    pool.push(job_ref);
+
+    let result_a = panic::catch_unwind(AssertUnwindSafe(a));
+
+    if pool.unqueue(job_ref) {
+        job_b.run_inline();
+    } else {
+        pool.wait_while_helping(&job_b.done);
+    }
+
+    match result_a {
+        Ok(ra) => (ra, job_b.unwrap_result()),
+        Err(payload) => {
+            job_b.discard_result();
+            panic::resume_unwind(payload)
+        }
+    }
+}
+
+/// A heap-allocated fire-and-forget job (scope spawns).
+struct HeapJob {
+    task: Box<dyn FnOnce() + Send + 'static>,
+}
+
+impl HeapJob {
+    fn push(pool: &Pool, task: Box<dyn FnOnce() + Send + 'static>) {
+        let data = Box::into_raw(Box::new(HeapJob { task })) as *const ();
+        pool.push(JobRef {
+            data,
+            execute: Self::execute,
+        });
+    }
+
+    unsafe fn execute(data: *const ()) {
+        let job = unsafe { Box::from_raw(data as *mut HeapJob) };
+        // The task catches its own panics (see Scope::spawn); a worker
+        // thread never unwinds.
+        (job.task)();
+    }
+}
+
+struct SendPtr<T>(*const T);
+// Safety: only used to pass the Scope pointer into spawned tasks; the scope
+// latch guarantees the pointee outlives every task, and all Scope state the
+// tasks touch is atomic or mutex-guarded.
+unsafe impl<T> Send for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    // Method (not field) access, so closures capture the Send wrapper
+    // rather than disjointly capturing the raw pointer inside it.
+    fn get(&self) -> *const T {
+        self.0
+    }
+}
+
+/// A fork-join scope: tasks spawned on it may borrow data outside the
+/// scope, and [`scope`] does not return until every spawn completed.
+pub struct Scope<'scope> {
+    pool: &'static Pool,
+    pending: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    // Invariant over 'scope, as in rayon.
+    marker: PhantomData<std::cell::Cell<&'scope mut ()>>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns `body` to run inside the scope, potentially on another
+    /// worker thread. The first spawn panic is re-raised by [`scope`].
+    pub fn spawn<BODY>(&self, body: BODY)
+    where
+        BODY: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let scope_ptr = SendPtr(self as *const Scope<'scope>);
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            // Safety: `scope` blocks until pending == 0, so the Scope (and
+            // everything 'scope borrows) outlives this task.
+            let scope = unsafe { &*scope_ptr.get() };
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| body(scope))) {
+                scope.panic.lock().unwrap().get_or_insert(payload);
+            }
+            scope.pending.fetch_sub(1, Ordering::Release);
+        });
+        // Safety: the scope latch guarantees the task finishes before any
+        // 'scope borrow expires, so erasing the lifetime is sound.
+        let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+        HeapJob::push(self.pool, task);
+    }
+
+    fn wait(&self) {
+        let mut idle_spins = 0u32;
+        while self.pending.load(Ordering::Acquire) != 0 {
+            if let Some(job) = self.pool.try_pop() {
+                unsafe { job.run() };
+                idle_spins = 0;
+            } else if idle_spins < 128 {
+                std::hint::spin_loop();
+                idle_spins += 1;
+            } else {
+                std::thread::yield_now();
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+    }
+}
+
+/// Creates a scope, runs `op` in it, waits for every spawned task, and
+/// returns `op`'s result. Panics from `op` or any spawn propagate.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    let s = Scope {
+        pool: global(),
+        pending: AtomicUsize::new(0),
+        panic: Mutex::new(None),
+        marker: PhantomData,
+    };
+    let result = panic::catch_unwind(AssertUnwindSafe(|| op(&s)));
+    // Spawned tasks must complete even when `op` unwound: they may borrow
+    // state owned by op's caller.
+    s.wait();
+    match result {
+        Err(payload) => panic::resume_unwind(payload),
+        Ok(r) => {
+            if let Some(payload) = s.panic.lock().unwrap().take() {
+                panic::resume_unwind(payload);
+            }
+            r
+        }
+    }
+}
