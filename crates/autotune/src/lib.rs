@@ -38,6 +38,8 @@
 //! println!("{}: {}", plan.kernel_id, plan.rationale);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod candidates;
 pub mod cost;

@@ -12,6 +12,7 @@ pub mod ksweep;
 pub mod preprocessing;
 pub mod reordering;
 pub mod sampling;
+pub mod sanitize;
 pub mod selftime;
 pub mod summary;
 pub mod variance;
@@ -84,6 +85,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "fused",
     "table5",
     "autotune",
+    "sanitize",
 ];
 
 /// Runs one experiment by its `repro` name. Returns `None` for unknown
@@ -118,6 +120,7 @@ pub fn dispatch(name: &str, effort: Effort) -> Option<ExperimentOutput> {
         "fused" => extensions::run_fused(effort),
         "table5" => endtoend::run(effort),
         "autotune" => autotune::run(&DeviceSpec::v100(), effort, k),
+        "sanitize" => sanitize::run(&DeviceSpec::v100(), effort),
         "formats" => formats::run(effort, k),
         "profile" => kernel_profile::run(effort, k),
         "datasets" => datasets_table::run(effort),

@@ -40,9 +40,18 @@ impl SpmmKernel for Aspt {
         // Preprocessing = host tiling analysis over every nnz plus a GPU
         // pass that rewrites the matrix into the DCSR panel layout.
         let host = host_pass_report(sim.device(), nnz as u64, 3.0);
-        let src = sim.alloc_elems(nnz * 2);
-        let dst = sim.alloc_elems(nnz * 2);
-        let rewrite = sim.launch(
+        let src = sim.alloc_input(nnz * 2, "csr_arrays");
+        let dst = sim.alloc_scratch(nnz * 2, "panel_arrays");
+        let total = nnz as u64 * 2;
+        // Scatter stride: large for panel-order spreading, forced coprime
+        // with the element count so the permutation is collision-free (two
+        // lanes never write the same slot).
+        let mut stride = 977u64;
+        while total > 0 && gcd(stride, total) != 1 {
+            stride -= 1;
+        }
+        let rewrite = sim.launch_named(
+            "ASpT rewrite",
             LaunchConfig {
                 num_warps: (nnz as u64).div_ceil(32).max(1),
                 resources: KernelResources {
@@ -53,12 +62,15 @@ impl SpmmKernel for Aspt {
             },
             |warp_id, tally| {
                 let base = warp_id * 32;
-                tally.global_read(src.elem_addr(base % (nnz as u64 * 2).max(1), 4), 128, 1);
-                // Scattered writes into panel order.
-                tally.global_gather(
-                    (0..32u64).map(|lane| {
-                        dst.elem_addr((base + lane * 977) % (nnz as u64 * 2).max(1), 4)
-                    }),
+                let lanes = total.saturating_sub(base).min(32);
+                if lanes == 0 {
+                    return;
+                }
+                tally.global_read(src.elem_addr(base, 4), lanes * 4, 1);
+                // Scattered stores into panel order: each lane deposits its
+                // element at its permuted position.
+                tally.global_scatter(
+                    (0..lanes).map(|lane| dst.elem_addr((base + lane) * stride % total, 4)),
                     4,
                 );
             },
@@ -75,13 +87,20 @@ impl SpmmKernel for Aspt {
             shared_mem_per_block: 4 * 32 * 4 * 8,
             ..Default::default()
         };
-        let (output, report) = run_row_warp_spmm(sim, &csr, a, &tasks, &spec);
+        let (output, report) = run_row_warp_spmm(self.name(), sim, &csr, a, &tasks, &spec);
         Ok(SpmmRun {
             output,
             report,
             preprocess: Some(preprocess),
         })
     }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
 }
 
 #[cfg(test)]

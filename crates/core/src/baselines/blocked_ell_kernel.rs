@@ -41,10 +41,10 @@ impl SpmmKernel for CusparseBlockedEll {
         let width = bell.width();
         let block_rows = m.div_ceil(b);
 
-        let payload_buf = sim.alloc_elems(block_rows * width * b * b);
-        let colidx_buf = sim.alloc_elems(block_rows * width);
-        let a_buf = sim.alloc_elems(a.rows() * k);
-        let o_buf = sim.alloc_elems(m * k);
+        let payload_buf = sim.alloc_input(block_rows * width * b * b, "ell_payload");
+        let colidx_buf = sim.alloc_input(block_rows * width, "ell_colidx");
+        let a_buf = sim.alloc_input(a.rows() * k, "A");
+        let o_buf = sim.alloc_output(m * k, "O");
 
         // Real numerics via the format's own SpMM (verified against the
         // reference in `hpsparse-sparse`).
@@ -59,7 +59,7 @@ impl SpmmKernel for CusparseBlockedEll {
                 shared_mem_per_block: (b * b * 4) as u32 * 8,
             },
         };
-        let report = sim.launch(launch, |warp_id, tally| {
+        let report = sim.launch_named(self.name(), launch, |warp_id, tally| {
             if width == 0 || warp_id >= slots {
                 return;
             }

@@ -114,8 +114,10 @@ impl Default for RowWarpSpec {
 }
 
 /// Runs the row-oriented SpMM skeleton: one warp per [`RowTask`] per
-/// K-slice. Returns the computed output and the launch profile.
+/// K-slice. Returns the computed output and the launch profile. `name` is
+/// the kernel name reported to any attached access sink.
 pub fn run_row_warp_spmm(
+    name: &str,
     sim: &mut GpuSim,
     csr: &Csr,
     a: &Dense,
@@ -130,11 +132,11 @@ pub fn run_row_warp_spmm(
     let k_cols_per_warp = 32 * vw as usize * coarsen;
     let k_slices = k.div_ceil(k_cols_per_warp) as u64;
 
-    let off_buf = sim.alloc_elems(m + 1);
-    let col_buf = sim.alloc_elems(nnz);
-    let val_buf = sim.alloc_elems(nnz);
-    let a_buf = sim.alloc_elems(a.rows() * k);
-    let o_buf = sim.alloc_elems(m * k);
+    let off_buf = sim.alloc_input(m + 1, "row_offsets");
+    let col_buf = sim.alloc_input(nnz, "col_ind");
+    let val_buf = sim.alloc_input(nnz, "values");
+    let a_buf = sim.alloc_input(a.rows() * k, "A");
+    let o_buf = sim.alloc_output(m * k, "O");
 
     let mut output = Dense::zeros(m, k);
     let mut res = vec![0f32; k_cols_per_warp];
@@ -152,7 +154,7 @@ pub fn run_row_warp_spmm(
         num_warps: num_tasks * k_slices,
         resources,
     };
-    let report = sim.launch(launch, |warp_id, tally| {
+    let report = sim.launch_named(name, launch, |warp_id, tally| {
         let task = tasks[(warp_id % num_tasks.max(1)) as usize];
         let kslice = warp_id / num_tasks.max(1);
         let k_base = kslice as usize * k_cols_per_warp;
@@ -367,7 +369,7 @@ mod tests {
             },
         ] {
             let tasks = whole_row_tasks(&csr, None);
-            let (out, report) = run_row_warp_spmm(&mut sim, &csr, &a, &tasks, &spec);
+            let (out, report) = run_row_warp_spmm("skeleton", &mut sim, &csr, &a, &tasks, &spec);
             assert!(out.approx_eq(&expected, 1e-5, 1e-6), "spec {spec:?}");
             assert!(report.cycles > 0);
         }
@@ -381,7 +383,14 @@ mod tests {
         let expected = reference::spmm(&hybrid, &a).unwrap();
         let mut sim = GpuSim::new(DeviceSpec::v100());
         let tasks = split_row_tasks(&csr, 4);
-        let (out, _) = run_row_warp_spmm(&mut sim, &csr, &a, &tasks, &RowWarpSpec::default());
+        let (out, _) = run_row_warp_spmm(
+            "skeleton",
+            &mut sim,
+            &csr,
+            &a,
+            &tasks,
+            &RowWarpSpec::default(),
+        );
         assert!(out.approx_eq(&expected, 1e-5, 1e-6));
     }
 
@@ -391,9 +400,17 @@ mod tests {
         let a = Dense::from_fn(16, 64, |i, j| (i + j) as f32);
         let tasks = whole_row_tasks(&csr, None);
         let mut sim = GpuSim::new(DeviceSpec::v100());
-        let (_, coalesced) = run_row_warp_spmm(&mut sim, &csr, &a, &tasks, &RowWarpSpec::default());
+        let (_, coalesced) = run_row_warp_spmm(
+            "skeleton",
+            &mut sim,
+            &csr,
+            &a,
+            &tasks,
+            &RowWarpSpec::default(),
+        );
         let mut sim2 = GpuSim::new(DeviceSpec::v100());
         let (_, gathered) = run_row_warp_spmm(
+            "skeleton",
             &mut sim2,
             &csr,
             &a,
@@ -412,8 +429,22 @@ mod tests {
         let a = Dense::from_fn(16, 8, |i, j| (i + j) as f32);
         let tasks = whole_row_tasks(&csr, None);
         let mut sim = GpuSim::new(DeviceSpec::v100());
-        let (_, r1) = run_row_warp_spmm(&mut sim, &csr, &a, &tasks, &RowWarpSpec::default());
-        let (_, r2) = run_row_warp_spmm(&mut sim, &csr, &a, &tasks, &RowWarpSpec::default());
+        let (_, r1) = run_row_warp_spmm(
+            "skeleton",
+            &mut sim,
+            &csr,
+            &a,
+            &tasks,
+            &RowWarpSpec::default(),
+        );
+        let (_, r2) = run_row_warp_spmm(
+            "skeleton",
+            &mut sim,
+            &csr,
+            &a,
+            &tasks,
+            &RowWarpSpec::default(),
+        );
         let merged = merge_reports(&r1, &r2);
         assert_eq!(merged.cycles, r1.cycles + r2.cycles);
         assert_eq!(

@@ -38,7 +38,7 @@ impl SpmmKernel for CusparseCsrAlg2 {
             shared_tile: false,
             ..Default::default()
         };
-        let (output, report) = run_row_warp_spmm(sim, &csr, a, &tasks, &spec);
+        let (output, report) = run_row_warp_spmm(self.name(), sim, &csr, a, &tasks, &spec);
         Ok(SpmmRun {
             output,
             report,
@@ -65,10 +65,11 @@ impl SpmmKernel for CusparseCsrAlg3 {
         // Partition kernel: one binary search over RowOffset per chunk.
         let chunk = 256usize;
         let chunks = nnz.div_ceil(chunk) as u64;
-        let off_buf = sim.alloc_elems(m + 1);
-        let part_buf = sim.alloc_elems(chunks as usize);
+        let off_buf = sim.alloc_input(m + 1, "row_offsets");
+        let part_buf = sim.alloc_scratch(chunks as usize, "partition");
         let log_m = (usize::BITS - m.max(2).leading_zeros()) as u64;
-        let partition = sim.launch(
+        let partition = sim.launch_named(
+            "cuSPARSE(CSR,ALG3) partition",
             LaunchConfig {
                 num_warps: chunks.div_ceil(32).max(1),
                 resources: KernelResources {
@@ -90,7 +91,11 @@ impl SpmmKernel for CusparseCsrAlg3 {
                     );
                     tally.compute(2);
                 }
-                tally.global_write(part_buf.elem_addr(warp_id * 32, 4), 32 * 4, 1);
+                // The last warp's block of 32 partition entries may run
+                // past `chunks`; clamp the store to the real extent.
+                let first = warp_id * 32;
+                let lanes = chunks.saturating_sub(first).min(32);
+                tally.global_write(part_buf.elem_addr(first, 4), lanes * 4, 1);
             },
         );
         // Balanced execution over the partitioned chunks: each warp owns
@@ -102,11 +107,11 @@ impl SpmmKernel for CusparseCsrAlg3 {
         let k_cols_per_warp = 32usize;
         let k_slices = k.div_ceil(k_cols_per_warp) as u64;
 
-        let row_buf = sim.alloc_elems(nnz);
-        let col_buf = sim.alloc_elems(nnz);
-        let val_buf = sim.alloc_elems(nnz);
-        let a_buf = sim.alloc_elems(a.rows() * k);
-        let o_buf = sim.alloc_elems(m_rows * k);
+        let row_buf = sim.alloc_input(nnz, "row_ind");
+        let col_buf = sim.alloc_input(nnz, "col_ind");
+        let val_buf = sim.alloc_input(nnz, "values");
+        let a_buf = sim.alloc_input(a.rows() * k, "A");
+        let o_buf = sim.alloc_output(m_rows * k, "O");
 
         let mut output = Dense::zeros(m_rows, k);
         let row_ind = s.row_indices();
@@ -121,7 +126,7 @@ impl SpmmKernel for CusparseCsrAlg3 {
                 shared_mem_per_block: 0,
             },
         };
-        let exec = sim.launch(launch, |warp_id, tally| {
+        let exec = sim.launch_named(self.name(), launch, |warp_id, tally| {
             let chunk_id = warp_id % chunks.max(1);
             let kslice = warp_id / chunks.max(1);
             let start = chunk_id as usize * chunk;
@@ -189,11 +194,11 @@ impl SpmmKernel for CusparseCooAlg4 {
         let k_slices = k.div_ceil(k_cols_per_warp) as u64;
         let chunks = nnz.div_ceil(32) as u64;
 
-        let row_buf = sim.alloc_elems(nnz);
-        let col_buf = sim.alloc_elems(nnz);
-        let val_buf = sim.alloc_elems(nnz);
-        let a_buf = sim.alloc_elems(a.rows() * k);
-        let o_buf = sim.alloc_elems(m * k);
+        let row_buf = sim.alloc_input(nnz, "row_ind");
+        let col_buf = sim.alloc_input(nnz, "col_ind");
+        let val_buf = sim.alloc_input(nnz, "values");
+        let a_buf = sim.alloc_input(a.rows() * k, "A");
+        let o_buf = sim.alloc_output(m * k, "O");
 
         let mut output = Dense::zeros(m, k);
         let row_ind = s.row_indices();
@@ -208,7 +213,7 @@ impl SpmmKernel for CusparseCooAlg4 {
                 shared_mem_per_block: 0,
             },
         };
-        let report = sim.launch(launch, |warp_id, tally| {
+        let report = sim.launch_named(self.name(), launch, |warp_id, tally| {
             let chunk = warp_id % chunks.max(1);
             let kslice = warp_id / chunks.max(1);
             let start = chunk as usize * 32;
@@ -279,13 +284,13 @@ impl SddmmKernel for CusparseCsrSddmm {
         let csr = s.to_csr();
         let m = csr.rows();
 
-        let off_buf = sim.alloc_elems(m + 1);
-        let col_buf = sim.alloc_elems(nnz);
-        let val_buf = sim.alloc_elems(nnz);
-        let a1_buf = sim.alloc_elems(m * k);
+        let off_buf = sim.alloc_input(m + 1, "row_offsets");
+        let col_buf = sim.alloc_input(nnz, "col_ind");
+        let val_buf = sim.alloc_input(nnz, "values");
+        let a1_buf = sim.alloc_input(m * k, "A1");
         // A2 in its native K x N layout (not transposed).
-        let a2_buf = sim.alloc_elems(k * n);
-        let so_buf = sim.alloc_elems(nnz);
+        let a2_buf = sim.alloc_input(k * n, "A2");
+        let so_buf = sim.alloc_output(nnz, "S_O");
 
         let mut out = vec![0f32; nnz];
         let col_ind = csr.col_indices();
@@ -304,7 +309,7 @@ impl SddmmKernel for CusparseCsrSddmm {
                 shared_mem_per_block: 0,
             },
         };
-        let report = sim.launch(launch, |warp_id, tally| {
+        let report = sim.launch_named(self.name(), launch, |warp_id, tally| {
             if warp_id >= num_tasks {
                 return;
             }

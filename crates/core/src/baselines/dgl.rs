@@ -31,12 +31,12 @@ impl SddmmKernel for DglSddmm {
         let k = a1.cols();
         let nnz = s.nnz();
 
-        let row_buf = sim.alloc_elems(nnz);
-        let col_buf = sim.alloc_elems(nnz);
-        let val_buf = sim.alloc_elems(nnz);
-        let a1_buf = sim.alloc_elems(a1.rows() * k);
-        let a2_buf = sim.alloc_elems(a2t.rows() * k);
-        let so_buf = sim.alloc_elems(nnz);
+        let row_buf = sim.alloc_input(nnz, "row_ind");
+        let col_buf = sim.alloc_input(nnz, "col_ind");
+        let val_buf = sim.alloc_input(nnz, "values");
+        let a1_buf = sim.alloc_input(a1.rows() * k, "A1");
+        let a2_buf = sim.alloc_input(a2t.rows() * k, "A2T");
+        let so_buf = sim.alloc_output(nnz, "S_O");
 
         let mut out = vec![0f32; nnz];
         let row_ind = s.row_indices();
@@ -51,7 +51,7 @@ impl SddmmKernel for DglSddmm {
                 shared_mem_per_block: 0,
             },
         };
-        let report = sim.launch(launch, |warp_id, tally| {
+        let report = sim.launch_named(self.name(), launch, |warp_id, tally| {
             let j = warp_id as usize;
             if j >= nnz {
                 return;

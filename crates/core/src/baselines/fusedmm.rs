@@ -79,13 +79,13 @@ impl FusedMm {
         let npw = cfg.nnz_per_warp.max(1);
         let tile_elems = (32 * vw as usize).min(npw);
 
-        let row_buf = sim.alloc_elems(nnz);
-        let col_buf = sim.alloc_elems(nnz);
-        let val_buf = sim.alloc_elems(nnz);
-        let a1_buf = sim.alloc_elems(a1.rows() * k);
-        let a2_buf = sim.alloc_elems(a2t.rows() * k);
-        let h_buf = sim.alloc_elems(h.rows() * k_out);
-        let o_buf = sim.alloc_elems(m * k_out);
+        let row_buf = sim.alloc_input(nnz, "row_ind");
+        let col_buf = sim.alloc_input(nnz, "col_ind");
+        let val_buf = sim.alloc_input(nnz, "values");
+        let a1_buf = sim.alloc_input(a1.rows() * k, "A1");
+        let a2_buf = sim.alloc_input(a2t.rows() * k, "A2T");
+        let h_buf = sim.alloc_input(h.rows() * k_out, "H");
+        let o_buf = sim.alloc_output(m * k_out, "O");
 
         let mut output = Dense::zeros(m, k_out);
         let mut scores = vec![0f32; nnz];
@@ -107,7 +107,7 @@ impl FusedMm {
             num_warps: cfg.num_chunks(nnz),
             resources,
         };
-        let report = sim.launch(launch, |warp_id, tally| {
+        let report = sim.launch_named("FusedMM", launch, |warp_id, tally| {
             let start = warp_id as usize * npw;
             let end = (start + npw).min(nnz);
             if start >= end {

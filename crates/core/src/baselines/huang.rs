@@ -45,7 +45,7 @@ impl SpmmKernel for Huang {
             shared_mem_per_block: 2 * 32 * 4 * 8,
             ..Default::default()
         };
-        let (output, report) = run_row_warp_spmm(sim, &csr, a, &tasks, &spec);
+        let (output, report) = run_row_warp_spmm(self.name(), sim, &csr, a, &tasks, &spec);
         Ok(SpmmRun {
             output,
             report,

@@ -39,12 +39,13 @@ impl SpmmKernel for MergePath {
         let m = s.rows();
         let nnz = s.nnz();
         let segments = nnz.div_ceil(self.items_per_segment).max(1) as u64;
-        let off_buf = sim.alloc_elems(m + 1);
-        let seg_buf = sim.alloc_elems(segments as usize);
+        let off_buf = sim.alloc_input(m + 1, "row_offsets");
+        let seg_buf = sim.alloc_scratch(segments as usize, "segment_rows");
         let log_m = (usize::BITS - m.max(2).leading_zeros()) as u64;
 
         // Preprocessing: one binary search over RowOffset per segment.
-        let preprocess = sim.launch(
+        let preprocess = sim.launch_named(
+            "Merge-path partition",
             LaunchConfig {
                 num_warps: segments.div_ceil(32).max(1),
                 resources: KernelResources {
@@ -65,7 +66,11 @@ impl SpmmKernel for MergePath {
                     );
                     tally.compute(2);
                 }
-                tally.global_write(seg_buf.elem_addr(warp_id * 32, 4), 32 * 4, 1);
+                // The last warp's block of 32 segment entries may run past
+                // `segments`; clamp the store to the real extent.
+                let first = warp_id * 32;
+                let lanes = segments.saturating_sub(first).min(32);
+                tally.global_write(seg_buf.elem_addr(first, 4), lanes * 4, 1);
             },
         );
 

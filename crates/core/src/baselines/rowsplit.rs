@@ -30,7 +30,7 @@ impl SpmmKernel for RowSplit {
             registers_per_thread: 28,
             ..Default::default()
         };
-        let (output, report) = run_row_warp_spmm(sim, &csr, a, &tasks, &spec);
+        let (output, report) = run_row_warp_spmm(self.name(), sim, &csr, a, &tasks, &spec);
         Ok(SpmmRun {
             output,
             report,

@@ -52,7 +52,7 @@ impl SpmmKernel for Sputnik {
             registers_per_thread: 48,
             ..Default::default()
         };
-        let (output, report) = run_row_warp_spmm(sim, &csr, a, &tasks, &spec);
+        let (output, report) = run_row_warp_spmm(self.name(), sim, &csr, a, &tasks, &spec);
         Ok(SpmmRun {
             output,
             report,

@@ -59,9 +59,9 @@ impl SpmmKernel for TcGnn {
             window_cols.push(cols);
         }
 
-        let a_buf = sim.alloc_elems(a.rows() * k);
-        let o_buf = sim.alloc_elems(m * k);
-        let meta_buf = sim.alloc_elems(nnz * 2);
+        let a_buf = sim.alloc_input(a.rows() * k, "A");
+        let o_buf = sim.alloc_output(m * k, "O");
+        let meta_buf = sim.alloc_input(nnz * 2, "window_meta");
 
         let mut output = Dense::zeros(m, k);
         let cost = sim.device().cost;
@@ -77,7 +77,7 @@ impl SpmmKernel for TcGnn {
         };
         let block_cols = self.block_cols;
         let window_rows = self.window_rows;
-        let report = sim.launch(launch, |warp_id, tally| {
+        let report = sim.launch_named(self.name(), launch, |warp_id, tally| {
             let w = warp_id as usize;
             if w >= windows {
                 return;

@@ -46,7 +46,7 @@ impl SpmmKernel for HpSpmm {
     fn run_on(&self, sim: &mut GpuSim, s: &Hybrid, a: &Dense) -> Result<SpmmRun, FormatError> {
         check_spmm_dims(s, a)?;
         let resources = self.config.resources(a.cols());
-        execute_hp_spmm(self.config, resources, sim, s, a)
+        execute_hp_spmm(self.name(), self.config, resources, sim, s, a)
     }
 }
 
@@ -90,12 +90,13 @@ impl SpmmKernel for HpSpmmLean {
             registers_per_thread: 32,
             shared_mem_per_block: 3 * 32 * 4 * cfg.warps_per_block,
         };
-        execute_hp_spmm(cfg, resources, sim, s, a)
+        execute_hp_spmm(self.name(), cfg, resources, sim, s, a)
     }
 }
 
 /// Shared executor for the HP-SpMM variants (Algorithm 3).
 fn execute_hp_spmm(
+    name: &str,
     cfg: HpConfig,
     resources: hpsparse_sim::KernelResources,
     sim: &mut GpuSim,
@@ -113,11 +114,11 @@ fn execute_hp_spmm(
         let k_cols_per_warp = 32 * vw as usize;
 
         // Logical device allocations (addresses drive alignment/caching).
-        let row_buf = sim.alloc_elems(nnz);
-        let col_buf = sim.alloc_elems(nnz);
-        let val_buf = sim.alloc_elems(nnz);
-        let a_buf = sim.alloc_elems(a.rows() * k);
-        let o_buf = sim.alloc_elems(m * k);
+        let row_buf = sim.alloc_input(nnz, "row_ind");
+        let col_buf = sim.alloc_input(nnz, "col_ind");
+        let val_buf = sim.alloc_input(nnz, "values");
+        let a_buf = sim.alloc_input(a.rows() * k, "A");
+        let o_buf = sim.alloc_output(m * k, "O");
 
         let mut output = Dense::zeros(m, k);
         let mut res = vec![0f32; k_cols_per_warp];
@@ -130,7 +131,7 @@ fn execute_hp_spmm(
             num_warps: cfg.spmm_warps(nnz, k),
             resources,
         };
-        let report = sim.launch(launch, |warp_id, tally| {
+        let report = sim.launch_named(name, launch, |warp_id, tally| {
             let chunk = warp_id % chunks.max(1);
             let kslice = warp_id / chunks.max(1);
             let start = chunk as usize * npw;

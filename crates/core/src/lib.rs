@@ -20,9 +20,12 @@
 //! | [`cpu`] | rayon CPU executions |
 //! | [`traits`] | the `SpmmKernel` / `SddmmKernel` interfaces |
 
+#![forbid(unsafe_code)]
+
 pub mod baselines;
 pub mod cpu;
 pub mod hp;
+pub mod mutants;
 pub mod traits;
 
 pub use traits::{SddmmKernel, SddmmRun, SpmmKernel, SpmmRun};

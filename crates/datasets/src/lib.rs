@@ -10,6 +10,8 @@
 //! these structural parameters, which is why the substitution preserves the
 //! paper's comparisons (DESIGN.md, substitution table).
 
+#![forbid(unsafe_code)]
+
 pub mod features;
 pub mod generators;
 pub mod registry;

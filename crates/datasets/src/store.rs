@@ -79,16 +79,36 @@ fn corpus_store() -> &'static Memo<CorpusKey, Vec<Graph>> {
     STORE.get_or_init(Memo::new)
 }
 
-/// Returns `spec.generate(max_edges)`, memoised process-wide: the second
-/// request for the same `(name, max_edges)` returns the same `Arc` without
-/// regenerating.
-pub fn graph(spec: &DatasetSpec, max_edges: usize) -> Arc<Graph> {
-    graph_store().get_or_build((spec.name, max_edges), || spec.generate(max_edges))
+/// Structurally validates a generated graph before it is memoised: a
+/// corrupt adjacency matrix cached here would silently poison every
+/// downstream experiment, so generator bugs fail loudly at build time.
+fn validated(graph: Graph, what: &str) -> Graph {
+    if let Err(e) = graph.adjacency().validate() {
+        panic!("dataset store: generated {what} violates CSR invariants: {e:?}");
+    }
+    graph
 }
 
-/// Returns `sampling_corpus(count, seed)`, memoised process-wide.
+/// Returns `spec.generate(max_edges)`, memoised process-wide: the second
+/// request for the same `(name, max_edges)` returns the same `Arc` without
+/// regenerating. The generated adjacency is structurally validated before
+/// entering the cache.
+pub fn graph(spec: &DatasetSpec, max_edges: usize) -> Arc<Graph> {
+    graph_store().get_or_build((spec.name, max_edges), || {
+        validated(spec.generate(max_edges), spec.name)
+    })
+}
+
+/// Returns `sampling_corpus(count, seed)`, memoised process-wide. Every
+/// sampled subgraph is structurally validated before entering the cache.
 pub fn corpus(count: usize, seed: u64) -> Arc<Vec<Graph>> {
-    corpus_store().get_or_build((count, seed), || sampling_corpus(count, seed))
+    corpus_store().get_or_build((count, seed), || {
+        sampling_corpus(count, seed)
+            .into_iter()
+            .enumerate()
+            .map(|(i, g)| validated(g, &format!("corpus subgraph {i}")))
+            .collect()
+    })
 }
 
 #[cfg(test)]

@@ -12,6 +12,8 @@
 //! the backend simultaneously accounts the *simulated GPU cycles* each
 //! operation would cost, which is what the Table V comparison reports.
 
+#![forbid(unsafe_code)]
+
 pub mod backend;
 pub mod gat;
 pub mod gat_model;

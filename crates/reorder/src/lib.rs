@@ -13,6 +13,8 @@
 //! All three are implemented here along with locality metrics used by the
 //! benchmark harness.
 
+#![forbid(unsafe_code)]
+
 pub mod advisor;
 pub mod classic;
 pub mod gcr;

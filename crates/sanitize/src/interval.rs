@@ -1,0 +1,87 @@
+//! Sorted disjoint-interval bookkeeping for the initcheck stored-range set.
+
+/// A set of disjoint half-open byte ranges `[start, end)`, kept sorted and
+/// coalesced (touching ranges merge), so a coverage query is one binary
+/// search. Initcheck uses one of these to remember every byte any launch
+/// has stored so far.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct IntervalSet {
+    ranges: Vec<(u64, u64)>,
+}
+
+impl IntervalSet {
+    /// Is `[start, end)` entirely covered by the set? Empty ranges are
+    /// trivially covered.
+    pub(crate) fn covers(&self, start: u64, end: u64) -> bool {
+        if start >= end {
+            return true;
+        }
+        match self.ranges.partition_point(|r| r.0 <= start).checked_sub(1) {
+            // Coalescing guarantees a covered range lives in ONE interval.
+            Some(i) => self.ranges[i].1 >= end,
+            None => false,
+        }
+    }
+
+    /// Merges a batch of ranges into the set. Called once per launch with
+    /// everything that launch stored, so the cost is `O((n+m) log(n+m))`
+    /// per launch rather than per event.
+    pub(crate) fn insert_all(&mut self, mut batch: Vec<(u64, u64)>) {
+        batch.retain(|r| r.0 < r.1);
+        if batch.is_empty() {
+            return;
+        }
+        batch.append(&mut self.ranges);
+        batch.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(batch.len());
+        for (s, e) in batch {
+            match merged.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        self.ranges = merged;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_covers_nothing_but_empty_ranges() {
+        let s = IntervalSet::default();
+        assert!(s.covers(10, 10));
+        assert!(!s.covers(10, 11));
+    }
+
+    #[test]
+    fn coalesces_touching_and_overlapping_ranges() {
+        let mut s = IntervalSet::default();
+        s.insert_all(vec![(0, 4), (8, 12)]);
+        assert!(s.covers(0, 4));
+        assert!(!s.covers(0, 12));
+        // Bridge the gap; the three ranges must coalesce into one.
+        s.insert_all(vec![(4, 8)]);
+        assert!(s.covers(0, 12));
+        assert!(!s.covers(0, 13));
+    }
+
+    #[test]
+    fn partial_coverage_is_not_coverage() {
+        let mut s = IntervalSet::default();
+        s.insert_all(vec![(100, 200)]);
+        assert!(s.covers(100, 200));
+        assert!(s.covers(150, 160));
+        assert!(!s.covers(99, 101));
+        assert!(!s.covers(199, 201));
+        assert!(!s.covers(0, 50));
+    }
+
+    #[test]
+    fn zero_length_inserts_are_dropped() {
+        let mut s = IntervalSet::default();
+        s.insert_all(vec![(5, 5), (7, 6)]);
+        assert!(!s.covers(5, 6));
+    }
+}

@@ -11,6 +11,7 @@ use crate::cache::SectorCache;
 use crate::device::DeviceSpec;
 use crate::memory::MemorySpace;
 use crate::occupancy::{occupancy_of, tail_utilization, waves, KernelResources};
+use crate::sink::{AccessSink, BufferDecl, BufferRole};
 use crate::tally::{WarpCounters, WarpTally};
 
 /// Launch geometry: total warps and the per-block resources that determine
@@ -85,6 +86,12 @@ pub struct GpuSim {
     device: DeviceSpec,
     l2: SectorCache,
     memory: MemorySpace,
+    /// Optional access-event observer; every launch and allocation is
+    /// forwarded while attached (see [`crate::sink`]).
+    sink: Option<Box<dyn AccessSink>>,
+    /// Every declaration made so far, kept so a sink attached *after* some
+    /// allocations still learns about them (replayed in `attach_sink`).
+    decls: Vec<BufferDecl>,
 }
 
 impl GpuSim {
@@ -95,6 +102,8 @@ impl GpuSim {
             device,
             l2,
             memory: MemorySpace::new(),
+            sink: None,
+            decls: Vec::new(),
         }
     }
 
@@ -103,9 +112,69 @@ impl GpuSim {
         &self.device
     }
 
+    /// Attaches an access-event observer. All buffers declared so far are
+    /// replayed into it, so attaching after allocation loses nothing.
+    pub fn attach_sink(&mut self, mut sink: Box<dyn AccessSink>) {
+        for decl in &self.decls {
+            sink.register_buffer(decl);
+        }
+        self.sink = Some(sink);
+    }
+
+    /// Detaches and returns the current observer, if any.
+    pub fn detach_sink(&mut self) -> Option<Box<dyn AccessSink>> {
+        self.sink.take()
+    }
+
+    /// Is an access-event observer currently attached?
+    pub fn sink_attached(&self) -> bool {
+        self.sink.is_some()
+    }
+
     /// Allocates logical device memory (256-byte aligned).
+    ///
+    /// The allocation is declared to any attached sink as an anonymous
+    /// [`BufferRole::Input`] extent — in bounds for memcheck, exempt from
+    /// initcheck. Kernels that want precise roles use [`Self::alloc_input`]
+    /// / [`Self::alloc_output`] / [`Self::alloc_scratch`].
     pub fn alloc_elems(&mut self, n: usize) -> crate::memory::Buffer {
-        self.memory.alloc_elems(n)
+        self.alloc_named(n, "<unnamed>", BufferRole::Input)
+    }
+
+    /// Allocates a named host-initialised buffer the kernel reads.
+    pub fn alloc_input(&mut self, n: usize, name: &'static str) -> crate::memory::Buffer {
+        self.alloc_named(n, name, BufferRole::Input)
+    }
+
+    /// Allocates a named kernel-output buffer (conceptually
+    /// zero-initialised; loads before any store are initcheck violations).
+    pub fn alloc_output(&mut self, n: usize, name: &'static str) -> crate::memory::Buffer {
+        self.alloc_named(n, name, BufferRole::Output)
+    }
+
+    /// Allocates a named device-side temporary with no host initialisation.
+    pub fn alloc_scratch(&mut self, n: usize, name: &'static str) -> crate::memory::Buffer {
+        self.alloc_named(n, name, BufferRole::Scratch)
+    }
+
+    fn alloc_named(
+        &mut self,
+        n: usize,
+        name: &'static str,
+        role: BufferRole,
+    ) -> crate::memory::Buffer {
+        let buf = self.memory.alloc_elems(n);
+        let decl = BufferDecl {
+            name,
+            role,
+            base: buf.base(),
+            len_bytes: buf.len_bytes(),
+        };
+        self.decls.push(decl);
+        if let Some(sink) = self.sink.as_mut() {
+            sink.register_buffer(&decl);
+        }
+        buf
     }
 
     /// Clears L2 contents and statistics (cold-cache start).
@@ -121,10 +190,26 @@ impl GpuSim {
     /// Runs a kernel: `body(warp_id, tally)` is invoked once per warp, in
     /// block-scheduling order, and must record the warp's events on the
     /// tally. Returns the profile of the launch.
-    pub fn launch<F>(&mut self, config: LaunchConfig, mut body: F) -> LaunchReport
+    ///
+    /// The launch is reported to any attached sink under the name
+    /// `"<anonymous>"`; kernels that want their diagnostics attributed use
+    /// [`Self::launch_named`].
+    pub fn launch<F>(&mut self, config: LaunchConfig, body: F) -> LaunchReport
     where
         F: FnMut(u64, &mut WarpTally),
     {
+        self.launch_named("<anonymous>", config, body)
+    }
+
+    /// [`Self::launch`] with a kernel name attached, so sink diagnostics
+    /// (e.g. sanitizer violations) can say *which* kernel misbehaved.
+    pub fn launch_named<F>(&mut self, name: &str, config: LaunchConfig, mut body: F) -> LaunchReport
+    where
+        F: FnMut(u64, &mut WarpTally),
+    {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.begin_launch(name, config.num_warps);
+        }
         let res = config.resources;
         let occ = occupancy_of(&self.device, &res);
         let wpb = res.warps_per_block as u64;
@@ -143,7 +228,11 @@ impl GpuSim {
         // launch; per-warp/per-wave state is reset in place. This keeps the
         // inner loop (millions of warps for the large graphs) free of heap
         // allocation.
-        let mut tally = WarpTally::new(&mut self.l2, self.device.warp_size);
+        let mut tally = WarpTally::with_sink(
+            &mut self.l2,
+            self.device.warp_size,
+            self.sink.as_deref_mut(),
+        );
         let mut sm_sum = vec![0f64; num_sms];
         let mut sm_max_block = vec![0f64; num_sms];
 
@@ -158,6 +247,7 @@ impl GpuSim {
                 let mut block_max = 0f64;
                 let warps_in_block = wpb.min(config.num_warps - warp_id);
                 for _ in 0..warps_in_block {
+                    tally.set_warp(warp_id);
                     body(warp_id, &mut tally);
                     let counters = tally.take_counters();
                     let wc = counters.cycles(&cost);
@@ -184,6 +274,10 @@ impl GpuSim {
                 .map(|sm| sm_max_block[sm].max(sm_sum[sm] / effective_width))
                 .fold(0f64, f64::max);
             schedule_cycles += wave_time;
+        }
+        drop(tally);
+        if let Some(sink) = self.sink.as_mut() {
+            sink.end_launch();
         }
 
         // Saturating HBM needs enough warps in flight to keep loads
@@ -386,6 +480,100 @@ mod tests {
             |_, t| t.compute(1380),
         );
         assert!((report.time_ms - sim.device().cycles_to_ms(report.cycles)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sink_sees_replayed_decls_launch_protocol_and_events() {
+        use crate::sink::{AccessEvent, AccessSink, BufferDecl};
+        use std::sync::{Arc, Mutex};
+        struct Rec(Arc<Mutex<Vec<String>>>);
+        impl AccessSink for Rec {
+            fn begin_launch(&mut self, kernel: &str, num_warps: u64) {
+                self.0
+                    .lock()
+                    .unwrap()
+                    .push(format!("begin {kernel} warps={num_warps}"));
+            }
+            fn register_buffer(&mut self, d: &BufferDecl) {
+                self.0
+                    .lock()
+                    .unwrap()
+                    .push(format!("decl {} {:?}", d.name, d.role));
+            }
+            fn record(&mut self, e: &AccessEvent) {
+                self.0
+                    .lock()
+                    .unwrap()
+                    .push(format!("{:?} w{}", e.kind, e.warp));
+            }
+            fn end_launch(&mut self) {
+                self.0.lock().unwrap().push("end".into());
+            }
+        }
+
+        let mut sim = GpuSim::new(DeviceSpec::v100());
+        let early = sim.alloc_input(8, "early"); // pre-attach: must be replayed
+        let log = Arc::new(Mutex::new(Vec::new()));
+        sim.attach_sink(Box::new(Rec(Arc::clone(&log))));
+        assert!(sim.sink_attached());
+        let out = sim.alloc_output(8, "out");
+        sim.launch_named(
+            "demo-kernel",
+            LaunchConfig {
+                num_warps: 2,
+                resources: small_res(),
+            },
+            |_, t| {
+                t.global_read(early.addr(0), 32, 1);
+                t.global_write(out.addr(0), 32, 1);
+            },
+        );
+        assert!(sim.detach_sink().is_some());
+        assert!(!sim.sink_attached());
+
+        let log = log.lock().unwrap();
+        assert_eq!(
+            *log,
+            vec![
+                "decl early Input".to_string(),
+                "decl out Output".to_string(),
+                "begin demo-kernel warps=2".to_string(),
+                "Read w0".to_string(),
+                "Write w0".to_string(),
+                "Read w1".to_string(),
+                "Write w1".to_string(),
+                "end".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn anonymous_launch_and_alloc_still_reach_the_sink() {
+        use crate::sink::{AccessEvent, AccessSink, BufferDecl};
+        use std::sync::{Arc, Mutex};
+        struct Names(Arc<Mutex<Vec<String>>>);
+        impl AccessSink for Names {
+            fn begin_launch(&mut self, kernel: &str, _: u64) {
+                self.0.lock().unwrap().push(kernel.to_string());
+            }
+            fn register_buffer(&mut self, d: &BufferDecl) {
+                self.0.lock().unwrap().push(d.name.to_string());
+            }
+            fn record(&mut self, _: &AccessEvent) {}
+            fn end_launch(&mut self) {}
+        }
+        let mut sim = GpuSim::new(DeviceSpec::v100());
+        let log = Arc::new(Mutex::new(Vec::new()));
+        sim.attach_sink(Box::new(Names(Arc::clone(&log))));
+        let _ = sim.alloc_elems(4);
+        sim.launch(
+            LaunchConfig {
+                num_warps: 1,
+                resources: small_res(),
+            },
+            |_, _| {},
+        );
+        assert_eq!(*log.lock().unwrap(), vec!["<unnamed>", "<anonymous>"]);
     }
 
     #[test]

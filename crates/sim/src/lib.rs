@@ -25,12 +25,15 @@
 //! cost *and* lets the kernel compute real numeric results, so correctness
 //! and performance shape come from one execution.
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod device;
 pub mod launch;
 pub mod memory;
 pub mod occupancy;
 pub mod profile;
+pub mod sink;
 pub mod tally;
 
 pub use cache::SectorCache;
@@ -38,4 +41,5 @@ pub use device::{CostModel, DeviceSpec};
 pub use launch::{GpuSim, LaunchConfig, LaunchReport};
 pub use memory::{Buffer, MemorySpace, SECTOR_BYTES};
 pub use occupancy::{occupancy_of, KernelResources, Occupancy};
+pub use sink::{AccessEvent, AccessKind, AccessSink, BufferDecl, BufferRole};
 pub use tally::WarpTally;

@@ -9,6 +9,7 @@
 use crate::cache::SectorCache;
 use crate::device::CostModel;
 use crate::memory::{sectors_of_range, vector_aligned};
+use crate::sink::{AccessEvent, AccessKind, AccessSink};
 
 /// Raw event counts for one warp.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -71,16 +72,60 @@ pub struct WarpTally<'a> {
     counters: WarpCounters,
     /// Reused between gathers; cleared on use, never shrunk.
     gather_scratch: Vec<u64>,
+    /// Optional access-event observer (sanitizer); `None` in ordinary runs.
+    sink: Option<&'a mut (dyn AccessSink + 'static)>,
+    /// Launch-global id of the warp currently being simulated, stamped onto
+    /// every forwarded event.
+    warp: u64,
 }
 
 impl<'a> WarpTally<'a> {
     /// Creates a tally that probes `cache` for global accesses.
     pub fn new(cache: &'a mut SectorCache, warp_size: u32) -> Self {
+        Self::with_sink(cache, warp_size, None)
+    }
+
+    /// Creates a tally that additionally forwards every global access to
+    /// `sink` (used by [`GpuSim::launch_named`]).
+    ///
+    /// [`GpuSim::launch_named`]: crate::GpuSim::launch_named
+    pub fn with_sink(
+        cache: &'a mut SectorCache,
+        warp_size: u32,
+        sink: Option<&'a mut (dyn AccessSink + 'static)>,
+    ) -> Self {
         Self {
             cache,
             warp_size,
             counters: WarpCounters::default(),
             gather_scratch: Vec::new(),
+            sink,
+            warp: 0,
+        }
+    }
+
+    /// Sets the warp id stamped onto forwarded events (called by the launch
+    /// loop before each warp body).
+    pub fn set_warp(&mut self, warp: u64) {
+        self.warp = warp;
+    }
+
+    /// Forwards one access event to the sink, if any. Zero-length accesses
+    /// touch no memory and are not reported.
+    #[inline]
+    fn emit(&mut self, kind: AccessKind, addr: u64, len_bytes: u64, vector_width: u32) {
+        if len_bytes == 0 {
+            return;
+        }
+        if let Some(sink) = self.sink.as_mut() {
+            sink.record(&AccessEvent {
+                warp: self.warp,
+                kind,
+                addr,
+                len_bytes,
+                vector_width,
+                atomic: kind == AccessKind::Atomic,
+            });
         }
     }
 
@@ -124,6 +169,7 @@ impl<'a> WarpTally<'a> {
         let elems = len_bytes / 4;
         let per_instr = self.warp_size as u64 * eff_vw as u64;
         self.counters.instructions += elems.div_ceil(per_instr).max(u64::from(len_bytes > 0));
+        self.emit(AccessKind::Read, addr, len_bytes, eff_vw);
         self.touch(addr, len_bytes);
     }
 
@@ -133,6 +179,7 @@ impl<'a> WarpTally<'a> {
         let elems = len_bytes / 4;
         let per_instr = self.warp_size as u64 * eff_vw as u64;
         self.counters.instructions += elems.div_ceil(per_instr).max(u64::from(len_bytes > 0));
+        self.emit(AccessKind::Write, addr, len_bytes, eff_vw);
         self.touch(addr, len_bytes);
     }
 
@@ -141,14 +188,35 @@ impl<'a> WarpTally<'a> {
     /// among the lane addresses (coalescing happens exactly when lanes hit
     /// the same sectors).
     pub fn global_gather(&mut self, addrs: impl IntoIterator<Item = u64>, bytes_each: u64) {
+        self.lane_access(AccessKind::Gather, addrs, bytes_each);
+    }
+
+    /// A scatter: every lane stores `bytes_each` to its own address — the
+    /// write counterpart of [`WarpTally::global_gather`] (e.g. ASpT's
+    /// panel-reordering pass depositing values in permuted order). One store
+    /// instruction per warp; transactions are the distinct sectors among the
+    /// lane addresses.
+    pub fn global_scatter(&mut self, addrs: impl IntoIterator<Item = u64>, bytes_each: u64) {
+        self.lane_access(AccessKind::Scatter, addrs, bytes_each);
+    }
+
+    /// Shared gather/scatter body: one instruction, per-lane addresses,
+    /// sector-deduplicated traffic.
+    fn lane_access(
+        &mut self,
+        kind: AccessKind,
+        addrs: impl IntoIterator<Item = u64>,
+        bytes_each: u64,
+    ) {
         self.counters.instructions += 1;
-        let sectors = &mut self.gather_scratch;
+        let mut sectors = std::mem::take(&mut self.gather_scratch);
         sectors.clear();
         for a in addrs {
             for s in sectors_of_range(a, bytes_each) {
                 sectors.push(s);
             }
             self.counters.global_bytes += bytes_each;
+            self.emit(kind, a, bytes_each, 1);
         }
         sectors.sort_unstable();
         sectors.dedup();
@@ -160,6 +228,7 @@ impl<'a> WarpTally<'a> {
                 self.counters.dram_sectors += 1;
             }
         }
+        self.gather_scratch = sectors;
     }
 
     /// A warp-level global atomic (e.g. the `AtomicStore` of Algorithm 3):
@@ -167,6 +236,7 @@ impl<'a> WarpTally<'a> {
     /// region starting at `addr`.
     pub fn global_atomic(&mut self, addr: u64, len_bytes: u64) {
         self.counters.atomics += 1;
+        self.emit(AccessKind::Atomic, addr, len_bytes, 1);
         self.touch(addr, len_bytes);
     }
 
@@ -259,6 +329,53 @@ mod tests {
         t.global_gather((0..32u64).map(|i| i * 128), 4);
         assert_eq!(t.counters().transactions, 32);
         assert_eq!(t.counters().instructions, 1);
+    }
+
+    #[test]
+    fn scatter_mirrors_gather_accounting() {
+        let mut cache = mk_cache();
+        let mut t = WarpTally::new(&mut cache, 32);
+        // 32 lanes each store 4B into their own sector.
+        t.global_scatter((0..32u64).map(|i| i * 128), 4);
+        assert_eq!(t.counters().transactions, 32);
+        assert_eq!(t.counters().instructions, 1);
+        assert_eq!(t.counters().global_bytes, 128);
+        // Same-sector lanes coalesce exactly like a gather.
+        let mut cache2 = mk_cache();
+        let mut t2 = WarpTally::new(&mut cache2, 32);
+        t2.global_scatter((0..32u64).map(|i| i * 4 % 32), 4);
+        assert_eq!(t2.counters().transactions, 1);
+    }
+
+    #[test]
+    fn sink_receives_effective_vector_width_and_warp_id() {
+        use crate::sink::{AccessEvent, AccessKind, AccessSink, BufferDecl};
+        #[derive(Default)]
+        struct Rec(Vec<AccessEvent>);
+        impl AccessSink for Rec {
+            fn begin_launch(&mut self, _: &str, _: u64) {}
+            fn register_buffer(&mut self, _: &BufferDecl) {}
+            fn record(&mut self, e: &AccessEvent) {
+                self.0.push(*e);
+            }
+            fn end_launch(&mut self) {}
+        }
+        let mut cache = mk_cache();
+        let mut rec = Rec::default();
+        {
+            let mut t = WarpTally::with_sink(&mut cache, 32, Some(&mut rec));
+            t.set_warp(7);
+            t.global_read(256, 512, 4); // aligned: stays float4
+            t.global_read(260, 512, 4); // misaligned: demoted to scalar
+            t.global_write(256, 0, 1); // zero-length: not reported
+            t.global_atomic(256, 16);
+        }
+        assert_eq!(rec.0.len(), 3);
+        assert_eq!(rec.0[0].vector_width, 4);
+        assert_eq!(rec.0[1].vector_width, 1);
+        assert!(rec.0.iter().all(|e| e.warp == 7));
+        assert_eq!(rec.0[2].kind, AccessKind::Atomic);
+        assert!(rec.0[2].atomic);
     }
 
     #[test]

@@ -27,43 +27,51 @@ impl Coo {
         col_indices: Vec<u32>,
         values: Vec<f32>,
     ) -> Result<Self, FormatError> {
-        if row_indices.len() != col_indices.len() {
-            return Err(FormatError::ArrayLengthMismatch {
-                indices: row_indices.len(),
-                values: col_indices.len(),
-            });
-        }
-        if row_indices.len() != values.len() {
-            return Err(FormatError::ArrayLengthMismatch {
-                indices: row_indices.len(),
-                values: values.len(),
-            });
-        }
-        for (i, &r) in row_indices.iter().enumerate() {
-            if r as usize >= rows {
-                return Err(FormatError::RowOutOfBounds {
-                    index: i,
-                    row: r,
-                    rows,
-                });
-            }
-        }
-        for (i, &c) in col_indices.iter().enumerate() {
-            if c as usize >= cols {
-                return Err(FormatError::ColumnOutOfBounds {
-                    index: i,
-                    col: c,
-                    cols,
-                });
-            }
-        }
-        Ok(Self {
+        let coo = Self {
             rows,
             cols,
             row_indices,
             col_indices,
             values,
-        })
+        };
+        coo.validate()?;
+        Ok(coo)
+    }
+
+    /// Re-checks the format's structural invariants: the three parallel
+    /// arrays must have equal lengths and every index must be in range.
+    pub fn validate(&self) -> Result<(), FormatError> {
+        if self.row_indices.len() != self.col_indices.len() {
+            return Err(FormatError::ArrayLengthMismatch {
+                indices: self.row_indices.len(),
+                values: self.col_indices.len(),
+            });
+        }
+        if self.row_indices.len() != self.values.len() {
+            return Err(FormatError::ArrayLengthMismatch {
+                indices: self.row_indices.len(),
+                values: self.values.len(),
+            });
+        }
+        for (i, &r) in self.row_indices.iter().enumerate() {
+            if r as usize >= self.rows {
+                return Err(FormatError::RowOutOfBounds {
+                    index: i,
+                    row: r,
+                    rows: self.rows,
+                });
+            }
+        }
+        for (i, &c) in self.col_indices.iter().enumerate() {
+            if c as usize >= self.cols {
+                return Err(FormatError::ColumnOutOfBounds {
+                    index: i,
+                    col: c,
+                    cols: self.cols,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Number of rows `M`.
@@ -151,6 +159,18 @@ mod tests {
         assert!(matches!(
             Coo::new(2, 2, vec![0, 1], vec![0, 2], vec![1.0, 2.0]).unwrap_err(),
             FormatError::ColumnOutOfBounds { .. }
+        ));
+    }
+
+    #[test]
+    fn validate_rechecks_invariants_after_construction() {
+        let coo = Coo::new(2, 2, vec![0, 1], vec![0, 1], vec![1.0, 2.0]).unwrap();
+        assert!(coo.validate().is_ok());
+        let mut bad = coo;
+        bad.row_indices[1] = 7;
+        assert!(matches!(
+            bad.validate().unwrap_err(),
+            FormatError::RowOutOfBounds { .. }
         ));
     }
 

@@ -28,45 +28,58 @@ impl Csr {
         col_indices: Vec<u32>,
         values: Vec<f32>,
     ) -> Result<Self, FormatError> {
-        if row_offsets.len() != rows + 1 {
-            return Err(FormatError::OffsetLength {
-                expected: rows + 1,
-                found: row_offsets.len(),
-            });
-        }
-        for i in 1..row_offsets.len() {
-            if row_offsets[i] < row_offsets[i - 1] {
-                return Err(FormatError::OffsetsNotMonotonic { index: i });
-            }
-        }
-        if row_offsets[rows] as usize != col_indices.len() {
-            return Err(FormatError::OffsetNnzMismatch {
-                expected: col_indices.len(),
-                found: row_offsets[rows] as usize,
-            });
-        }
-        if col_indices.len() != values.len() {
-            return Err(FormatError::ArrayLengthMismatch {
-                indices: col_indices.len(),
-                values: values.len(),
-            });
-        }
-        for (i, &c) in col_indices.iter().enumerate() {
-            if c as usize >= cols {
-                return Err(FormatError::ColumnOutOfBounds {
-                    index: i,
-                    col: c,
-                    cols,
-                });
-            }
-        }
-        Ok(Self {
+        let csr = Self {
             rows,
             cols,
             row_offsets,
             col_indices,
             values,
-        })
+        };
+        csr.validate()?;
+        Ok(csr)
+    }
+
+    /// Re-checks every structural invariant of the format: offset-array
+    /// length, monotone row offsets, offset/NNZ consistency, matching
+    /// array lengths, and in-range column indices.
+    ///
+    /// [`Csr::new`] establishes these at construction; `validate` lets a
+    /// holder re-assert them later — e.g. the dataset store checks every
+    /// generated graph before memoising it.
+    pub fn validate(&self) -> Result<(), FormatError> {
+        if self.row_offsets.len() != self.rows + 1 {
+            return Err(FormatError::OffsetLength {
+                expected: self.rows + 1,
+                found: self.row_offsets.len(),
+            });
+        }
+        for i in 1..self.row_offsets.len() {
+            if self.row_offsets[i] < self.row_offsets[i - 1] {
+                return Err(FormatError::OffsetsNotMonotonic { index: i });
+            }
+        }
+        if self.row_offsets[self.rows] as usize != self.col_indices.len() {
+            return Err(FormatError::OffsetNnzMismatch {
+                expected: self.col_indices.len(),
+                found: self.row_offsets[self.rows] as usize,
+            });
+        }
+        if self.col_indices.len() != self.values.len() {
+            return Err(FormatError::ArrayLengthMismatch {
+                indices: self.col_indices.len(),
+                values: self.values.len(),
+            });
+        }
+        for (i, &c) in self.col_indices.iter().enumerate() {
+            if c as usize >= self.cols {
+                return Err(FormatError::ColumnOutOfBounds {
+                    index: i,
+                    col: c,
+                    cols: self.cols,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Builds a CSR matrix from `(row, col, value)` triplets in any order.
@@ -286,6 +299,36 @@ mod tests {
         assert!(matches!(err, FormatError::ColumnOutOfBounds { .. }));
         let err = Csr::new(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0]).unwrap_err();
         assert!(matches!(err, FormatError::ArrayLengthMismatch { .. }));
+    }
+
+    #[test]
+    fn validate_rechecks_invariants_after_construction() {
+        let m = fig2_matrix();
+        assert!(m.validate().is_ok());
+        // Corrupt each invariant in turn (fields are module-visible).
+        let mut bad = m.clone();
+        bad.row_offsets[2] = 0;
+        assert!(matches!(
+            bad.validate().unwrap_err(),
+            FormatError::OffsetsNotMonotonic { .. }
+        ));
+        let mut bad = m.clone();
+        bad.col_indices[3] = 99;
+        assert!(matches!(
+            bad.validate().unwrap_err(),
+            FormatError::ColumnOutOfBounds { .. }
+        ));
+        let mut bad = m;
+        bad.values.pop();
+        assert!(matches!(
+            bad.validate().unwrap_err(),
+            FormatError::ArrayLengthMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn transpose_output_validates() {
+        assert!(fig2_matrix().transpose().validate().is_ok());
     }
 
     #[test]

@@ -38,24 +38,58 @@ impl Hybrid {
         col_indices: Vec<u32>,
         values: Vec<f32>,
     ) -> Result<Self, FormatError> {
-        let coo = Coo::new(rows, cols, row_indices, col_indices, values)?;
-        if !coo.is_csr_sorted() {
-            let idx = coo
-                .row_indices()
-                .windows(2)
-                .zip(coo.col_indices().windows(2))
-                .position(|(r, c)| !(r[0] < r[1] || (r[0] == r[1] && c[0] <= c[1])))
-                .map(|p| p + 1)
-                .unwrap_or(0);
-            return Err(FormatError::NotSorted { index: idx });
-        }
-        Ok(Self {
+        let hybrid = Self {
             rows,
             cols,
-            row_indices: coo.row_indices().to_vec(),
-            col_indices: coo.col_indices().to_vec(),
-            values: coo.values().to_vec(),
-        })
+            row_indices,
+            col_indices,
+            values,
+        };
+        hybrid.validate()?;
+        Ok(hybrid)
+    }
+
+    /// Re-checks every structural invariant: the parallel arrays have
+    /// equal lengths, every index is in range, and elements are in CSR
+    /// order (rows non-decreasing, columns non-decreasing within a row).
+    pub fn validate(&self) -> Result<(), FormatError> {
+        if self.row_indices.len() != self.col_indices.len() {
+            return Err(FormatError::ArrayLengthMismatch {
+                indices: self.row_indices.len(),
+                values: self.col_indices.len(),
+            });
+        }
+        if self.row_indices.len() != self.values.len() {
+            return Err(FormatError::ArrayLengthMismatch {
+                indices: self.row_indices.len(),
+                values: self.values.len(),
+            });
+        }
+        for (i, (&r, &c)) in self.row_indices.iter().zip(&self.col_indices).enumerate() {
+            if r as usize >= self.rows {
+                return Err(FormatError::RowOutOfBounds {
+                    index: i,
+                    row: r,
+                    rows: self.rows,
+                });
+            }
+            if c as usize >= self.cols {
+                return Err(FormatError::ColumnOutOfBounds {
+                    index: i,
+                    col: c,
+                    cols: self.cols,
+                });
+            }
+        }
+        if let Some(idx) = self
+            .row_indices
+            .windows(2)
+            .zip(self.col_indices.windows(2))
+            .position(|(r, c)| !(r[0] < r[1] || (r[0] == r[1] && c[0] <= c[1])))
+        {
+            return Err(FormatError::NotSorted { index: idx + 1 });
+        }
+        Ok(())
     }
 
     /// Builds a hybrid matrix from an arbitrary-order COO by sorting.
@@ -196,6 +230,24 @@ mod tests {
         let h = fig2_hybrid();
         assert_eq!(h.nnz(), 7);
         assert_eq!(h.rows(), 4);
+    }
+
+    #[test]
+    fn validate_rechecks_invariants_after_construction() {
+        let h = fig2_hybrid();
+        assert!(h.validate().is_ok());
+        let mut bad = h.clone();
+        bad.row_indices.swap(0, 6);
+        assert!(matches!(
+            bad.validate().unwrap_err(),
+            FormatError::NotSorted { .. }
+        ));
+        let mut bad = h;
+        bad.col_indices[2] = 42;
+        assert!(matches!(
+            bad.validate().unwrap_err(),
+            FormatError::ColumnOutOfBounds { .. }
+        ));
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! sequential reference kernels of Algorithms 1 and 2 ([`reference`](mod@reference)),
 //! which every parallel kernel in `hpsparse-core` is tested against.
 
+#![forbid(unsafe_code)]
+
 pub mod blocked_ell;
 pub mod coo;
 pub mod csr;

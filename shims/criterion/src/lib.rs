@@ -7,6 +7,8 @@
 //! throughput) but does none of criterion's statistics: no outlier
 //! classification, no regression detection, no HTML reports.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Opaque hint preventing the optimiser from deleting a benchmarked

@@ -15,6 +15,8 @@
 //!   from the test's name, so every run — locally and in CI — exercises
 //!   the same case sequence. The real crate randomises by default.
 
+#![forbid(unsafe_code)]
+
 /// Per-test configuration. Only `cases` is consumed.
 #[derive(Debug, Clone, Copy)]
 pub struct ProptestConfig {

@@ -12,6 +12,8 @@
 //! `StdRng` produces, and it is not cryptographically secure; neither
 //! property is needed here.
 
+#![forbid(unsafe_code)]
+
 /// A source of pseudo-random numbers plus the sampling helpers the
 /// workspace uses.
 pub trait Rng {

@@ -195,7 +195,7 @@ impl<T> Clone for SendPtr<T> {
     }
 }
 impl<T> Copy for SendPtr<T> {}
-// Safety: used only to write disjoint index ranges of one allocation from
+// SAFETY: used only to write disjoint index ranges of one allocation from
 // the collect drive below.
 unsafe impl<T: Send> Send for SendPtr<T> {}
 
@@ -208,7 +208,7 @@ impl<T: Send> FromParallelIterator<T> for Vec<T> {
         let mut out: Vec<T> = Vec::with_capacity(len);
         let base = SendPtr(out.as_mut_ptr());
         drive_collect(iter, base, 0, leaf_len(len));
-        // Safety: drive_collect wrote exactly `len` initialized elements
+        // SAFETY: drive_collect wrote exactly `len` initialized elements
         // at disjoint offsets (or panicked, leaving len 0).
         unsafe { out.set_len(len) };
         out
@@ -222,12 +222,17 @@ where
     let n = it.len();
     if n <= leaf || pool::current_num_threads() <= 1 {
         let mut wrote = 0usize;
+        // SAFETY: `offset` is within the `len`-capacity allocation `base`
+        // points into — splits only ever narrow the `[offset, offset + n)`
+        // window.
         let mut p = unsafe { base.0.add(offset) };
         for item in it.into_seq() {
             assert!(
                 wrote < n,
                 "parallel iterator yielded more items than its reported length"
             );
+            // SAFETY: the assert above keeps every write inside this leaf's
+            // disjoint `[offset, offset + n)` window of the allocation.
             unsafe {
                 p.write(item);
                 p = p.add(1);

@@ -27,13 +27,18 @@ struct JobRef {
     execute: unsafe fn(*const ()),
 }
 
-// Safety: every JobRef is built from a job whose captured state is `Send`,
+// SAFETY: every JobRef is built from a job whose captured state is `Send`,
 // and the owning stack frame outlives execution (join/scope block on a
 // latch before returning).
 unsafe impl Send for JobRef {}
 
 impl JobRef {
+    /// # Safety
+    /// `self.data` must still point to the live job this ref was built
+    /// from, and `run` must be called at most once per job.
     unsafe fn run(self) {
+        // SAFETY: forwarded caller contract — `data` is the live job that
+        // `execute` was type-erased from.
         unsafe { (self.execute)(self.data) }
     }
 }
@@ -75,6 +80,8 @@ impl Pool {
         let mut idle_spins = 0u32;
         while !done.load(Ordering::Acquire) {
             if let Some(job) = self.try_pop() {
+                // SAFETY: a queued JobRef is live until executed exactly
+                // once, and popping it transferred that execution to us.
                 unsafe { job.run() };
                 idle_spins = 0;
             } else if idle_spins < 128 {
@@ -140,7 +147,8 @@ fn worker_loop(pool: &'static Pool) {
                 q = pool.work_available.wait(q).unwrap();
             }
         };
-        // Jobs catch panics internally; a worker never unwinds.
+        // SAFETY: popping the JobRef made this worker its sole executor.
+        // Jobs catch panics internally, so a worker never unwinds.
         unsafe { job.run() };
     }
 }
@@ -171,6 +179,9 @@ where
         }
     }
 
+    /// # Safety
+    /// The returned ref borrows `self` unchecked: the caller must keep the
+    /// job alive (and not move it) until the ref has executed.
     unsafe fn as_job_ref(&self) -> JobRef {
         JobRef {
             data: self as *const Self as *const (),
@@ -178,20 +189,34 @@ where
         }
     }
 
+    /// # Safety
+    /// `data` must be the pointer packed by [`StackJob::as_job_ref`], still
+    /// live, and this must be its only execution.
     unsafe fn execute(data: *const ()) {
+        // SAFETY: caller contract — `data` came from `as_job_ref` on a
+        // still-live StackJob.
         let this = unsafe { &*(data as *const Self) };
+        // SAFETY: single execution means nobody else is touching the cells
+        // (the joiner only reads them after `done` flips).
         let func = unsafe { (*this.func.get()).take() }.expect("job executed twice");
         let result = panic::catch_unwind(AssertUnwindSafe(func));
+        // SAFETY: same exclusive access; the Release store below publishes
+        // this write to the joiner's Acquire load.
         unsafe { *this.result.get() = Some(result) };
         this.done.store(true, Ordering::Release);
     }
 
     fn run_inline(&self) {
+        // SAFETY: `self` is live for the whole call, and the caller only
+        // runs inline after unqueueing the job, so this is its single
+        // execution.
         unsafe { Self::execute(self as *const Self as *const ()) }
     }
 
     /// Takes the result, re-raising a panic the job caught on its executor.
     fn unwrap_result(&self) -> R {
+        // SAFETY: called only after the job ran (inline or past the latch),
+        // so the executor is done with the cell and nobody else reads it.
         let result = unsafe { (*self.result.get()).take() }.expect("join result missing");
         match result {
             Ok(v) => v,
@@ -200,6 +225,7 @@ where
     }
 
     fn discard_result(&self) {
+        // SAFETY: same post-execution exclusive access as `unwrap_result`.
         let _ = unsafe { (*self.result.get()).take() };
     }
 }
@@ -222,6 +248,8 @@ where
     }
 
     let job_b = StackJob::new(b);
+    // SAFETY: `job_b` lives on this frame until after the ref has executed
+    // (run inline below, or awaited through `wait_while_helping`).
     let job_ref = unsafe { job_b.as_job_ref() };
     pool.push(job_ref);
 
@@ -256,7 +284,11 @@ impl HeapJob {
         });
     }
 
+    /// # Safety
+    /// `data` must be the `Box::into_raw` pointer packed by
+    /// [`HeapJob::push`], executed exactly once (this call frees it).
     unsafe fn execute(data: *const ()) {
+        // SAFETY: caller contract — reclaiming the box `push` leaked.
         let job = unsafe { Box::from_raw(data as *mut HeapJob) };
         // The task catches its own panics (see Scope::spawn); a worker
         // thread never unwinds.
@@ -265,7 +297,7 @@ impl HeapJob {
 }
 
 struct SendPtr<T>(*const T);
-// Safety: only used to pass the Scope pointer into spawned tasks; the scope
+// SAFETY: only used to pass the Scope pointer into spawned tasks; the scope
 // latch guarantees the pointee outlives every task, and all Scope state the
 // tasks touch is atomic or mutex-guarded.
 unsafe impl<T> Send for SendPtr<T> {}
@@ -298,7 +330,7 @@ impl<'scope> Scope<'scope> {
         self.pending.fetch_add(1, Ordering::SeqCst);
         let scope_ptr = SendPtr(self as *const Scope<'scope>);
         let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
-            // Safety: `scope` blocks until pending == 0, so the Scope (and
+            // SAFETY: `scope` blocks until pending == 0, so the Scope (and
             // everything 'scope borrows) outlives this task.
             let scope = unsafe { &*scope_ptr.get() };
             if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| body(scope))) {
@@ -306,7 +338,7 @@ impl<'scope> Scope<'scope> {
             }
             scope.pending.fetch_sub(1, Ordering::Release);
         });
-        // Safety: the scope latch guarantees the task finishes before any
+        // SAFETY: the scope latch guarantees the task finishes before any
         // 'scope borrow expires, so erasing the lifetime is sound.
         let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
         HeapJob::push(self.pool, task);
@@ -316,6 +348,8 @@ impl<'scope> Scope<'scope> {
         let mut idle_spins = 0u32;
         while self.pending.load(Ordering::Acquire) != 0 {
             if let Some(job) = self.pool.try_pop() {
+                // SAFETY: popping the JobRef made this thread its sole
+                // executor; queued refs are live until run.
                 unsafe { job.run() };
                 idle_spins = 0;
             } else if idle_spins < 128 {

@@ -13,6 +13,8 @@
 //! crate sorts unless `preserve_order` is enabled), and non-finite floats
 //! serialise as `null` (the real crate errors).
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 
 /// A JSON number: integers are kept exact, everything else is an `f64`.

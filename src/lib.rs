@@ -47,6 +47,8 @@
 //! assert!(run.report.cycles > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use hpsparse_autotune as autotune;
 pub use hpsparse_core as kernels;
 pub use hpsparse_datasets as datasets;
