@@ -106,6 +106,7 @@ impl OpKind {
 pub struct Planner {
     device: DeviceSpec,
     strategy: PlanStrategy,
+    reference_engine: bool,
     sim_launches: u64,
     planning_cycles: u64,
 }
@@ -116,9 +117,24 @@ impl Planner {
         Self {
             device,
             strategy,
+            reference_engine: false,
             sim_launches: 0,
             planning_cycles: 0,
         }
+    }
+
+    /// Runs every measurement simulator on the reference cost engine
+    /// ([`GpuSim::set_reference_engine`]) instead of the default fast
+    /// engine. Plans and rationales are identical either way — the engines
+    /// produce the same counters — so this exists purely as a
+    /// differential-testing witness for the planning path.
+    pub fn set_reference_engine(&mut self, reference: bool) {
+        self.reference_engine = reference;
+    }
+
+    /// Whether measurements use the reference cost engine.
+    pub fn reference_engine(&self) -> bool {
+        self.reference_engine
     }
 
     /// The device plans are made for.
@@ -154,9 +170,11 @@ impl Planner {
             PlanStrategy::Heuristic => heuristic_plan(&fp, ranked),
             PlanStrategy::Measured { top_n } => {
                 let a = measurement_features(s.cols(), k);
+                let reference = self.reference_engine;
                 self.measured_plan(&fp, ranked, top_n, |device, c| {
                     let kernel = instantiate_spmm(c)?;
                     let mut sim = GpuSim::new(device.clone());
+                    sim.set_reference_engine(reference);
                     let run = kernel.run_on(&mut sim, s, &a).ok()?;
                     Some(run.report.cycles + run.preprocess.as_ref().map_or(0, |p| p.cycles))
                 })
@@ -175,9 +193,11 @@ impl Planner {
             PlanStrategy::Measured { top_n } => {
                 let a1 = measurement_features(s.rows(), k);
                 let a2t = measurement_features(s.cols(), k);
+                let reference = self.reference_engine;
                 self.measured_plan(&fp, ranked, top_n, |device, c| {
                     let kernel = instantiate_sddmm(c)?;
                     let mut sim = GpuSim::new(device.clone());
+                    sim.set_reference_engine(reference);
                     let run = kernel.run_on(&mut sim, s, &a1, &a2t).ok()?;
                     Some(run.report.cycles + run.preprocess.as_ref().map_or(0, |p| p.cycles))
                 })

@@ -1,0 +1,142 @@
+//! Criterion microbenchmarks of the fast cost engine's hot loop: single
+//! sector probes vs batched runs on [`SectorCache`], and memoized vs raw
+//! warp tallies on [`WarpTally`]. These pin the primitives the descriptor
+//! API is built from, so a regression shows up here before it shows up as
+//! minutes in `repro -- selftime`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use hpsparse_sim::{SectorCache, WarpTally};
+
+/// V100-shaped L2: 6 MiB, 16-way — the geometry the branchless probe
+/// targets.
+fn l2() -> SectorCache {
+    SectorCache::new(6 * 1024 * 1024, 16)
+}
+
+/// Mixed probe stream: mostly-sequential stretches with periodic jumps, the
+/// shape GNN kernels produce (streaming feature rows + scattered gathers).
+fn probe_stream(n: u64) -> Vec<u64> {
+    (0..n)
+        .map(|i| {
+            if i % 7 == 0 {
+                (i.wrapping_mul(2654435761)) % 1_000_000
+            } else {
+                i % 300_000
+            }
+        })
+        .collect()
+}
+
+fn bench_cache_probes(c: &mut Criterion) {
+    const PROBES: u64 = 200_000;
+    let stream = probe_stream(PROBES);
+
+    let mut group = c.benchmark_group("cache_probe");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(PROBES));
+    group.bench_function("access_single", |b| {
+        let mut cache = l2();
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &s in &stream {
+                hits += u64::from(cache.access_sector(s));
+            }
+            black_box(hits)
+        })
+    });
+    // The same sector volume expressed as coalesced 8-sector runs — the
+    // batch form the strided descriptors feed.
+    group.bench_function("access_run_x8", |b| {
+        let mut cache = l2();
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &s in stream.iter().step_by(8) {
+                hits += cache.access_run(s, 8);
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("cache_reset");
+    group.sample_size(50);
+    group.bench_function("epoch_reset", |b| {
+        let mut cache = l2();
+        for s in 0..10_000u64 {
+            cache.access_sector(s);
+        }
+        b.iter(|| {
+            cache.reset();
+            black_box(cache.access_sector(1))
+        })
+    });
+    group.finish();
+}
+
+/// One warp's worth of descriptor traffic: a strided feature read, a lane
+/// gather, and the surrounding arithmetic — the body every registry
+/// kernel's launch closure reduces to.
+fn warp_body(tally: &mut WarpTally<'_>, indices: &[u32]) {
+    tally.compute(12);
+    tally.global_read_strided(4_096, 256, 16, 256, 4);
+    tally.global_gather(indices.iter().map(|&c| 1 << 20 | (c as u64 * 4)), 4);
+    tally.shared_op(35);
+    tally.shuffle_reduce(32);
+    tally.global_write(1 << 22, 128, 4);
+}
+
+fn bench_tally_memo(c: &mut Criterion) {
+    const WARPS: u64 = 20_000;
+    let indices: Vec<u32> = (0..32u32).map(|i| i.wrapping_mul(97) % 4_096).collect();
+
+    let mut group = c.benchmark_group("tally_warps");
+    group.sample_size(15);
+    group.throughput(Throughput::Elements(WARPS));
+    group.bench_function("raw", |b| {
+        b.iter(|| {
+            let mut cache = l2();
+            let mut tally = WarpTally::new(&mut cache, 32);
+            let mut total = 0u64;
+            for _ in 0..WARPS {
+                warp_body(&mut tally, &indices);
+                total += tally.take_counters().instructions;
+            }
+            black_box(total)
+        })
+    });
+    // Identical traffic with a shared warp signature: after the first warp
+    // records, every replay skips the cache-independent accounting and only
+    // probes the L2.
+    group.bench_function("memoized", |b| {
+        b.iter(|| {
+            let mut cache = l2();
+            let mut tally = WarpTally::new(&mut cache, 32);
+            let mut total = 0u64;
+            for _ in 0..WARPS {
+                tally.begin_memo(7);
+                warp_body(&mut tally, &indices);
+                total += tally.take_counters().instructions;
+            }
+            black_box(total)
+        })
+    });
+    // The reference engine on the same traffic: element-wise expansion,
+    // no memoization — the cost the descriptor API buys back.
+    group.bench_function("reference", |b| {
+        b.iter(|| {
+            let mut cache = l2();
+            let mut tally = WarpTally::new(&mut cache, 32);
+            tally.set_reference(true);
+            let mut total = 0u64;
+            for _ in 0..WARPS {
+                warp_body(&mut tally, &indices);
+                total += tally.take_counters().instructions;
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_probes, bench_tally_memo);
+criterion_main!(benches);

@@ -21,6 +21,7 @@
 //!   table5   end-to-end GNN training
 //!   autotune kernel-planner evaluation: oracle match + plan cache (extension)
 //!   sanitize memcheck/racecheck/initcheck sweep over every registry kernel
+//!   fastcheck differential test: fast vs reference cost engine
 //!   formats  §II storage-format comparison
 //!   profile  Nsight-style kernel profiles on Flickr
 //!   datasets Table II stand-in verification
@@ -98,8 +99,8 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: repro [--quick|--full] [--json DIR] <experiment>...\n\
          experiments: fig9 fig9a30 fig10 table3 table4 tcgnn reorder fig11 \
-         fig12 fig13 alpha futurework bell fused table5 autotune sanitize formats profile \
-         datasets all selftime"
+         fig12 fig13 alpha futurework bell fused table5 autotune sanitize fastcheck formats \
+         profile datasets all selftime"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -5,6 +5,7 @@ pub mod autotune;
 pub mod datasets_table;
 pub mod endtoend;
 pub mod extensions;
+pub mod fastcheck;
 pub mod formats;
 pub mod fullgraph;
 pub mod kernel_profile;
@@ -122,6 +123,7 @@ pub fn dispatch(name: &str, effort: Effort) -> Option<ExperimentOutput> {
         "autotune" => autotune::run(&DeviceSpec::v100(), effort, k),
         "sanitize" => sanitize::run(&DeviceSpec::v100(), effort),
         "formats" => formats::run(effort, k),
+        "fastcheck" => fastcheck::run(&DeviceSpec::v100(), effort),
         "profile" => kernel_profile::run(effort, k),
         "datasets" => datasets_table::run(effort),
         _ => return None,

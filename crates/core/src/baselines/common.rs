@@ -154,11 +154,27 @@ pub fn run_row_warp_spmm(
         num_warps: num_tasks * k_slices,
         resources,
     };
+    // A warp's cache-independent counters are a pure function of its
+    // segment length, K-slice width, sparse-pointer alignment class and
+    // store kind — provided K is a whole number of sectors (so the
+    // data-dependent feature-row index never changes an access's alignment
+    // class) — so identical mid-distribution warps can share one memo.
+    let memoable = k.is_multiple_of(8);
     let report = sim.launch_named(name, launch, |warp_id, tally| {
         let task = tasks[(warp_id % num_tasks.max(1)) as usize];
         let kslice = warp_id / num_tasks.max(1);
         let k_base = kslice as usize * k_cols_per_warp;
         let k_width = k_cols_per_warp.min(k - k_base);
+        // Fixed-tile kernels over-fetch `min(element_tile, nnz - i)` near
+        // the end of the matrix, so the last tasks' counters depend on the
+        // task position: leave them unmemoized.
+        if memoable && (spec.element_tile <= 32 || task.end as usize + spec.element_tile <= nnz) {
+            let sig = (task.end - task.start) as u64
+                | ((task.start as u64 & 7) << 32)
+                | ((k_width as u64) << 35)
+                | ((task.whole_row as u64) << 55);
+            tally.begin_memo(sig);
+        }
 
         // Kernel prologue: index math and bounds checks.
         tally.compute(12);
@@ -199,36 +215,35 @@ pub fn run_row_warp_spmm(
                 // only every `L1_STRIDE`-th step reaches L2; the skipped
                 // steps still cost issue slots.
                 const L1_STRIDE: usize = 4;
-                let mut kk = 0;
-                while kk < k_width {
-                    tally.global_gather(
-                        (i..i + tile_len).map(|j| {
-                            let c = col_ind[j] as usize;
-                            a_buf.elem_addr((c * k + k_base + kk) as u64, 4)
-                        }),
-                        4,
-                    );
-                    tally.compute((L1_STRIDE - 1) as u64);
-                    kk += L1_STRIDE;
-                }
+                let steps = k_width.div_ceil(L1_STRIDE) as u64;
+                tally.global_gather_stepped(
+                    a_buf.elem_addr(0, 4),
+                    &col_ind[i..i + tile_len],
+                    k as u64,
+                    k_base as u64,
+                    L1_STRIDE as u64,
+                    steps,
+                    4,
+                );
+                tally.compute(steps * (L1_STRIDE - 1) as u64);
                 tally.compute(tile_len as u64);
+            } else {
+                // With coarsening, the warp issues `k_coarsen`
+                // back-to-back 32·vw-column loads per element.
+                tally.gather_rows(
+                    a_buf.elem_addr(0, 4),
+                    &col_ind[i..i + tile_len],
+                    k as u64,
+                    k_base as u64,
+                    k_width as u64,
+                    32 * vw as u64,
+                    vw,
+                );
+                tally.compute(tile_len as u64 * (vw as u64 * coarsen as u64 + 1));
             }
             for j in i..i + tile_len {
                 let c = col_ind[j] as usize;
                 let v = values[j];
-                if !spec.gather_features {
-                    // With coarsening, the warp issues `k_coarsen`
-                    // back-to-back 32·vw-column loads per element.
-                    let step = 32 * vw as usize;
-                    let mut done = 0usize;
-                    while done < k_width {
-                        let width = step.min(k_width - done);
-                        let a_addr = a_buf.elem_addr((c * k + k_base + done) as u64, 4);
-                        tally.global_read(a_addr, width as u64 * 4, vw);
-                        done += width;
-                    }
-                    tally.compute(vw as u64 * coarsen as u64 + 1);
-                }
                 let a_row = a.row(c);
                 for (kk, slot) in res[..k_width].iter_mut().enumerate() {
                     *slot += v * a_row[k_base + kk];

@@ -136,6 +136,10 @@ impl SpmmKernel for CusparseCsrAlg3 {
             }
             let k_base = kslice as usize * k_cols_per_warp;
             let k_width = k_cols_per_warp.min(k - k_base);
+            // Non-probe counters depend only on the chunk length and the
+            // K-slice width (every access is scalar, so alignment never
+            // changes the instruction count); L2 probes stay live.
+            tally.begin_memo((end - start) as u64 | (k_width as u64) << 32);
             tally.compute(12);
             // Read this chunk's partition entry.
             tally.global_read(part_buf.elem_addr(chunk_id, 4), 4, 1);
@@ -223,6 +227,9 @@ impl SpmmKernel for CusparseCooAlg4 {
             }
             let k_base = kslice as usize * k_cols_per_warp;
             let k_width = k_cols_per_warp.min(k - k_base);
+            // As for ALG3: scalar accesses everywhere, so the tile length
+            // and K-slice width determine every cache-independent counter.
+            tally.begin_memo((end - start) as u64 | (k_width as u64) << 32);
             tally.compute(12);
             let tile_len = end - start;
             for buf in [&row_buf, &col_buf, &val_buf] {
@@ -315,6 +322,10 @@ impl SddmmKernel for CusparseCsrSddmm {
             }
             let task = tasks[warp_id as usize];
             let r = task.row as usize;
+            // Scalar accesses only, so the segment length determines every
+            // cache-independent counter (the column gathers' transaction
+            // counts are data-dependent but stay live under the memo).
+            tally.begin_memo(task.end as u64 - task.start as u64);
             tally.compute(12);
             tally.global_read(off_buf.elem_addr(r as u64, 4), 8, 1);
             let (start, end) = (task.start as usize, task.end as usize);
@@ -334,16 +345,16 @@ impl SddmmKernel for CusparseCsrSddmm {
                 // `A2[kk][c_lane]` — a strided gather whose transactions
                 // coalesce only when sorted-adjacent columns share a
                 // 32-byte sector (`K × N` layout, the kernel's bottleneck).
-                for kk in 0..k as u64 {
-                    tally.global_gather(
-                        (i..i + tile_len).map(|j| {
-                            let c = col_ind[j] as u64;
-                            a2_buf.elem_addr(kk * n as u64 + c, 4)
-                        }),
-                        4,
-                    );
-                    tally.compute(1);
-                }
+                tally.global_gather_stepped(
+                    a2_buf.elem_addr(0, 4),
+                    &col_ind[i..i + tile_len],
+                    1,
+                    0,
+                    n as u64,
+                    k as u64,
+                    4,
+                );
+                tally.compute(k as u64);
                 for j in i..i + tile_len {
                     let c = col_ind[j] as usize;
                     tally.shuffle_reduce(32);

@@ -267,8 +267,13 @@ fn aggregate(wg: &WGraph, comm: &[u32]) -> WGraph {
             }
         }
     }
+    // The hash map's iteration order is per-process random; sort by key so
+    // the supernode adjacency (and every float summation order downstream)
+    // is identical across runs.
+    let mut edges: Vec<((u32, u32), f64)> = edges.into_iter().collect();
+    edges.sort_unstable_by_key(|&(key, _)| key);
     let mut deg_count = vec![0usize; nc];
-    for &(a, b) in edges.keys() {
+    for &((a, b), _) in &edges {
         deg_count[a as usize] += 1;
         deg_count[b as usize] += 1;
     }
@@ -279,7 +284,7 @@ fn aggregate(wg: &WGraph, comm: &[u32]) -> WGraph {
     let mut nbr = vec![0u32; offsets[nc]];
     let mut w = vec![0f64; offsets[nc]];
     let mut cursor = offsets.clone();
-    for (&(a, b), &wt) in &edges {
+    for &((a, b), wt) in &edges {
         nbr[cursor[a as usize]] = b;
         w[cursor[a as usize]] = wt;
         cursor[a as usize] += 1;

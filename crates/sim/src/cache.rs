@@ -4,32 +4,70 @@
 //! Reordering pays off: feature rows of clustered neighbours stay resident
 //! between nearby warps. The model tracks 32-byte sectors (the L2 cache
 //! granularity the paper cites in §III-B2) with per-set LRU replacement.
+//!
+//! The implementation is tuned for the simulator's hot loop: every modelled
+//! global-memory sector is one probe, so a set is a strip of packed `u32`
+//! tagwords kept in recency order (way 0 = MRU, last way = LRU). Storing
+//! only the sector bits above the set index keeps a 16-way set inside one
+//! 64-byte host cache line, and the L2-sized geometry takes a branchless
+//! probe (`probe16`). Each tagword carries the reset epoch in its low
+//! bits, so [`SectorCache::reset`] is O(1): bumping the epoch invalidates
+//! every resident line without rewriting the ways vec.
 
 use crate::memory::SECTOR_BYTES;
 
-/// One cache line: the resident sector tag (`u64::MAX` = empty) and the
-/// monotonic timestamp driving LRU choice. Tag and stamp are interleaved so
-/// the probe loop walks one contiguous strip of memory per set instead of
-/// two parallel arrays.
-#[derive(Debug, Clone, Copy)]
-struct Line {
-    tag: u64,
-    stamp: u64,
+/// Branchless probe of one 16-way set (the L2-sized geometry). The hit/miss
+/// outcome of a cache probe is inherently unpredictable, so any
+/// data-dependent branch here pays a misprediction on a large fraction of
+/// the simulator's billions of probes. Instead: an unrolled SIMD-friendly
+/// compare produces a match mask, the rotation depth is selected with
+/// arithmetic, and the whole recency-ordered set is rewritten with unrolled
+/// conditional moves. The only branch is the MRU-hit early-out, which is
+/// strongly biased (taken in streaming stretches, not taken in scattered
+/// ones) and skips the redundant rewrite.
+#[inline]
+fn probe16(ways: &mut [u32; 16], key: u32) -> bool {
+    let mut mask = 0u32;
+    for (i, &w) in ways.iter().enumerate() {
+        mask |= u32::from(w == key) << i;
+    }
+    if mask & 1 == 1 {
+        return true; // MRU hit: recency order already correct.
+    }
+    let is_hit = mask != 0;
+    let rot = if is_hit {
+        mask.trailing_zeros() as usize
+    } else {
+        15
+    };
+    ways.copy_within(..rot, 1);
+    ways[0] = key;
+    is_hit
 }
 
-const EMPTY: Line = Line {
-    tag: u64::MAX,
-    stamp: 0,
-};
+/// Low bits of every tagword reserved for the reset epoch. With 8 bits the
+/// full-clear fallback runs once per 255 resets; the tag keeps 24 bits for
+/// the sector's above-set-index bits, bounding the modelled address space at
+/// `num_sets * 2^24` sectors (4 TiB for a V100-sized L2) — asserted in
+/// debug builds.
+const EPOCH_BITS: u32 = 8;
+const EPOCH_MAX: u32 = (1 << EPOCH_BITS) - 1;
 
 /// A set-associative, LRU-replacement cache over 32-byte sectors.
 #[derive(Debug, Clone)]
 pub struct SectorCache {
-    /// `lines[set * assoc + i]`, ways of a set contiguous.
-    lines: Vec<Line>,
+    /// `ways[set * assoc + i]`: packed tagwords `(sector >> set_bits) <<
+    /// EPOCH_BITS | epoch`, recency-ordered within each set. Only the bits
+    /// above the set index are stored — two sectors with equal tags in the
+    /// same set are the same sector — which keeps a 16-way set inside one
+    /// 64-byte host cache line. A word whose epoch field differs from the
+    /// current epoch is empty — epochs start at 1, so the zero-filled
+    /// initial state is empty everywhere.
+    ways: Vec<u32>,
     assoc: usize,
     num_sets: usize,
-    tick: u64,
+    set_bits: u32,
+    epoch: u32,
     hits: u64,
     misses: u64,
 }
@@ -51,10 +89,11 @@ impl SectorCache {
         }
         .max(1);
         Self {
-            lines: vec![EMPTY; num_sets * assoc],
+            ways: vec![0; num_sets * assoc],
             assoc,
             num_sets,
-            tick: 0,
+            set_bits: num_sets.trailing_zeros(),
+            epoch: 1,
             hits: 0,
             misses: 0,
         }
@@ -62,38 +101,68 @@ impl SectorCache {
 
     /// Probes the cache with a byte address; inserts the sector on miss.
     /// Returns `true` on hit.
-    ///
-    /// This is the single hottest function in the simulator (every modelled
-    /// global-memory sector passes through it), so the set is scanned once:
-    /// the same pass that looks for the tag also remembers the LRU victim,
-    /// and empty ways short-circuit as immediate victims (stamp 0 is older
-    /// than any occupied line since `tick` starts at 1).
     pub fn access(&mut self, byte_addr: u64) -> bool {
-        let sector = byte_addr / SECTOR_BYTES as u64;
+        self.access_sector(byte_addr / SECTOR_BYTES as u64)
+    }
+
+    /// Probes the cache with a sector index (byte address / 32); inserts the
+    /// sector on miss. Returns `true` on hit.
+    ///
+    /// Recency order makes LRU maintenance branch-free in the hot case: a
+    /// hit on the MRU way touches nothing, any other hit rotates the ways in
+    /// front of it down by one, and a miss rotates the whole set (dropping
+    /// the LRU tail) and installs the new tagword at the front. Empty ways
+    /// (stale-epoch words) accumulate at the tail, so they are consumed
+    /// before any resident line is evicted — the same victim policy as a
+    /// timestamp LRU.
+    #[inline]
+    pub fn access_sector(&mut self, sector: u64) -> bool {
+        debug_assert!(
+            sector >> self.set_bits <= (u32::MAX >> EPOCH_BITS) as u64,
+            "sector tag overflow"
+        );
+        let key = ((sector >> self.set_bits) as u32) << EPOCH_BITS | self.epoch;
         let set = (sector as usize) & (self.num_sets - 1);
         let base = set * self.assoc;
-        self.tick += 1;
-        let set_lines = &mut self.lines[base..base + self.assoc];
-        let mut victim = 0usize;
-        let mut victim_stamp = u64::MAX;
-        for (i, line) in set_lines.iter().enumerate() {
-            if line.tag == sector {
-                set_lines[i].stamp = self.tick;
+        let ways = &mut self.ways[base..base + self.assoc];
+        if let Ok(w16) = <&mut [u32; 16]>::try_from(&mut *ways) {
+            let hit = probe16(w16, key);
+            self.hits += u64::from(hit);
+            self.misses += u64::from(!hit);
+            return hit;
+        }
+        match ways.iter().position(|&w| w == key) {
+            Some(0) => {
                 self.hits += 1;
-                return true;
+                true
             }
-            let stamp = if line.tag == u64::MAX { 0 } else { line.stamp };
-            if stamp < victim_stamp {
-                victim_stamp = stamp;
-                victim = i;
+            Some(i) => {
+                ways.copy_within(..i, 1);
+                ways[0] = key;
+                self.hits += 1;
+                true
+            }
+            None => {
+                ways.copy_within(..self.assoc - 1, 1);
+                ways[0] = key;
+                self.misses += 1;
+                false
             }
         }
-        self.misses += 1;
-        set_lines[victim] = Line {
-            tag: sector,
-            stamp: self.tick,
-        };
-        false
+    }
+
+    /// Probes `n` contiguous sectors starting at `first_sector`, in
+    /// ascending order, and returns how many hit. This is the batch form
+    /// the descriptor fast path feeds: one call per coalesced run instead
+    /// of one dispatch per sector.
+    pub fn access_run(&mut self, first_sector: u64, n: u64) -> u64 {
+        let mut hits = 0;
+        for sector in first_sector..first_sector.saturating_add(n) {
+            if self.access_sector(sector) {
+                hits += 1;
+            }
+        }
+        hits
     }
 
     /// Number of hits recorded so far.
@@ -122,9 +191,17 @@ impl SectorCache {
     }
 
     /// Clears contents and statistics.
+    ///
+    /// O(1): the epoch is bumped, turning every resident tagword stale.
+    /// Only when the 8-bit epoch space is exhausted does the ways vec get
+    /// rewritten, once per 255 resets.
     pub fn reset(&mut self) {
-        self.lines.fill(EMPTY);
-        self.tick = 0;
+        if self.epoch == EPOCH_MAX {
+            self.ways.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
         self.hits = 0;
         self.misses = 0;
     }
@@ -193,5 +270,41 @@ mod tests {
         }
         // Working set twice the capacity with LRU: expect a very low rate.
         assert!(c.hit_rate() < 0.2, "hit rate {}", c.hit_rate());
+    }
+
+    #[test]
+    fn access_run_matches_individual_sector_probes() {
+        let mut batch = SectorCache::new(2048, 4);
+        let mut single = SectorCache::new(2048, 4);
+        // Warm both with an identical irregular prefix.
+        for s in [3u64, 9, 3, 70, 71, 9] {
+            batch.access_sector(s);
+            single.access_sector(s);
+        }
+        let hits = batch.access_run(4, 8);
+        let mut expect = 0;
+        for s in 4..12u64 {
+            if single.access_sector(s) {
+                expect += 1;
+            }
+        }
+        assert_eq!(hits, expect);
+        assert_eq!(batch.hits(), single.hits());
+        assert_eq!(batch.misses(), single.misses());
+        // Re-running the same span hits every sector.
+        assert_eq!(batch.access_run(4, 8), 8);
+        assert_eq!(batch.access_run(4, 0), 0); // empty run is a no-op
+    }
+
+    #[test]
+    fn epoch_reset_survives_wraparound() {
+        let mut c = SectorCache::new(1024, 4);
+        // Far more resets than the 16-bit epoch space: each one must still
+        // leave the cache cold, including across the full-clear fallback.
+        for round in 0..70_000u64 {
+            assert!(!c.access(0), "stale line leaked at round {round}");
+            assert!(c.access(0));
+            c.reset();
+        }
     }
 }

@@ -92,6 +92,10 @@ pub struct GpuSim {
     /// Every declaration made so far, kept so a sink attached *after* some
     /// allocations still learns about them (replayed in `attach_sink`).
     decls: Vec<BufferDecl>,
+    /// Reference engine: descriptors expand element-wise and warp
+    /// memoization is off (see [`WarpTally::set_reference`]). A sink forces
+    /// the same behaviour independently of this flag.
+    reference_engine: bool,
 }
 
 impl GpuSim {
@@ -104,12 +108,27 @@ impl GpuSim {
             memory: MemorySpace::new(),
             sink: None,
             decls: Vec::new(),
+            reference_engine: false,
         }
     }
 
     /// The device being simulated.
     pub fn device(&self) -> &DeviceSpec {
         &self.device
+    }
+
+    /// Selects the reference cost engine for all subsequent launches:
+    /// descriptors expand element-wise and warp memoization is disabled.
+    /// Counters are guaranteed identical either way (`repro -- fastcheck`
+    /// asserts it); the reference engine exists as the differential-testing
+    /// witness.
+    pub fn set_reference_engine(&mut self, reference: bool) {
+        self.reference_engine = reference;
+    }
+
+    /// Whether the reference cost engine is selected.
+    pub fn reference_engine(&self) -> bool {
+        self.reference_engine
     }
 
     /// Attaches an access-event observer. All buffers declared so far are
@@ -228,11 +247,13 @@ impl GpuSim {
         // launch; per-warp/per-wave state is reset in place. This keeps the
         // inner loop (millions of warps for the large graphs) free of heap
         // allocation.
+        let reference = self.reference_engine;
         let mut tally = WarpTally::with_sink(
             &mut self.l2,
             self.device.warp_size,
             self.sink.as_deref_mut(),
         );
+        tally.set_reference(reference);
         let mut sm_sum = vec![0f64; num_sms];
         let mut sm_max_block = vec![0f64; num_sms];
 
