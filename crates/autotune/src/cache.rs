@@ -46,10 +46,12 @@ impl PlanCache {
         match self.entries.get(&(op, key)) {
             Some(entry) => {
                 self.hits += 1;
+                hpsparse_trace::counter_add("autotune.plan_cache.hit", 1);
                 Some(&entry.plan)
             }
             None => {
                 self.misses += 1;
+                hpsparse_trace::counter_add("autotune.plan_cache.miss", 1);
                 None
             }
         }

@@ -17,7 +17,7 @@
 //! near the top, and the experiment's oracle-match rate keeps it honest.
 
 use hpsparse_core::hp::HpConfig;
-use hpsparse_sim::occupancy::waves;
+use hpsparse_sim::occupancy::tail_stretch;
 use hpsparse_sim::{occupancy_of, DeviceSpec, KernelResources};
 
 use crate::candidates::Candidate;
@@ -37,17 +37,6 @@ fn l2_miss_factor(device: &DeviceSpec, fp: &GraphFingerprint) -> f64 {
         // CSR-ordered column stream.
         0.6
     }
-}
-
-/// Tail stretch factor for a launch of `blocks` blocks at the given
-/// occupancy: 1.0 when the launch divides into full waves, up to
-/// `FullWaveSize` when a single block occupies a whole wave.
-fn tail_stretch(blocks: u64, full_wave_size: u64) -> f64 {
-    if blocks == 0 {
-        return 1.0;
-    }
-    let w = waves(blocks, full_wave_size) as f64;
-    (w * full_wave_size as f64 / blocks as f64).max(1.0)
 }
 
 /// Estimated execution cycles of an HP-SpMM configuration.

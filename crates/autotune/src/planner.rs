@@ -162,11 +162,20 @@ impl Planner {
 
     /// Plans SpMM for `s` at feature dimension `k`.
     pub fn plan_spmm(&mut self, s: &Hybrid, k: usize) -> Plan {
+        let _span = hpsparse_trace::span_with(
+            "autotune:plan-spmm",
+            &[
+                ("rows", serde_json::json!(s.rows())),
+                ("nnz", serde_json::json!(s.nnz())),
+                ("k", serde_json::json!(k)),
+            ],
+        );
+        let launches_before = self.sim_launches;
         let fp = GraphFingerprint::of(s, k, &self.device);
         let ranked = rank(spmm_candidates(&self.device, &fp), |c| {
             spmm_cost(&self.device, &fp, c)
         });
-        match self.strategy {
+        let plan = match self.strategy {
             PlanStrategy::Heuristic => heuristic_plan(&fp, ranked),
             PlanStrategy::Measured { top_n } => {
                 let a = measurement_features(s.cols(), k);
@@ -179,16 +188,27 @@ impl Planner {
                     Some(run.report.cycles + run.preprocess.as_ref().map_or(0, |p| p.cycles))
                 })
             }
-        }
+        };
+        self.record_planning_metrics(launches_before);
+        plan
     }
 
     /// Plans SDDMM for `s` at feature dimension `k`.
     pub fn plan_sddmm(&mut self, s: &Hybrid, k: usize) -> Plan {
+        let _span = hpsparse_trace::span_with(
+            "autotune:plan-sddmm",
+            &[
+                ("rows", serde_json::json!(s.rows())),
+                ("nnz", serde_json::json!(s.nnz())),
+                ("k", serde_json::json!(k)),
+            ],
+        );
+        let launches_before = self.sim_launches;
         let fp = GraphFingerprint::of(s, k, &self.device);
         let ranked = rank(sddmm_candidates(&self.device, &fp), |c| {
             sddmm_cost(&self.device, &fp, c)
         });
-        match self.strategy {
+        let plan = match self.strategy {
             PlanStrategy::Heuristic => heuristic_plan(&fp, ranked),
             PlanStrategy::Measured { top_n } => {
                 let a1 = measurement_features(s.rows(), k);
@@ -202,7 +222,19 @@ impl Planner {
                     Some(run.report.cycles + run.preprocess.as_ref().map_or(0, |p| p.cycles))
                 })
             }
-        }
+        };
+        self.record_planning_metrics(launches_before);
+        plan
+    }
+
+    /// Counts one finished plan (and the simulator launches it spent) into
+    /// the installed trace session's registry; a no-op when detached.
+    fn record_planning_metrics(&self, launches_before: u64) {
+        hpsparse_trace::counter_add("autotune.plans", 1);
+        hpsparse_trace::counter_add(
+            "autotune.plan_sim_launches",
+            self.sim_launches - launches_before,
+        );
     }
 
     /// Measures the top `top_n` ranked candidates with `measure` (one cold

@@ -1,7 +1,8 @@
 //! `repro` — regenerates every table and figure of the paper's §IV.
 //!
 //! ```text
-//! repro [--quick|--full] [--json DIR] <experiment>...
+//! repro [--quick|--full] [--json DIR] [--trace FILE] [--metrics FILE]
+//!       [--selftime-baseline FILE] [--selftime-tolerance F] <experiment>...
 //!
 //! experiments:
 //!   fig9     kernel benchmarks, full-graph dataset (V100)
@@ -32,6 +33,19 @@
 //! Experiment output on stdout is byte-identical at any `RAYON_NUM_THREADS`
 //! (timing chatter goes to stderr); `selftime` output is inherently
 //! timing-dependent.
+//!
+//! `--trace FILE` installs a process-global `hpsparse-trace` session for
+//! the whole run and writes a Chrome trace-event / Perfetto JSON timeline
+//! (timestamps in simulated cycles — load it at <https://ui.perfetto.dev>).
+//! `--metrics FILE` exports the session's metrics registry (`.csv` for
+//! CSV, anything else for JSON). Both artefacts are deterministic:
+//! identical invocations produce byte-identical files.
+//!
+//! `--selftime-baseline FILE` makes `selftime` compare its fresh total
+//! against a committed `BENCH_repro.json` and exit non-zero if the run
+//! regressed beyond `--selftime-tolerance` (fractional, default 0.25 to
+//! absorb machine noise; the tracing-overhead budget of DESIGN.md is
+//! validated with a strict 0.01 at baseline-refresh time).
 
 use hpsparse_bench::experiments::{dispatch, selftime, Effort, ALL_EXPERIMENTS};
 
@@ -39,6 +53,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut effort = Effort::Full;
     let mut json_dir: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut selftime_baseline: Option<String> = None;
+    let mut selftime_tolerance = 0.25_f64;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -50,6 +68,24 @@ fn main() {
                     it.next()
                         .unwrap_or_else(|| usage("--json needs a directory")),
                 )
+            }
+            "--trace" => {
+                trace_path = Some(it.next().unwrap_or_else(|| usage("--trace needs a file")))
+            }
+            "--metrics" => {
+                metrics_path = Some(it.next().unwrap_or_else(|| usage("--metrics needs a file")))
+            }
+            "--selftime-baseline" => {
+                selftime_baseline = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--selftime-baseline needs a file")),
+                )
+            }
+            "--selftime-tolerance" => {
+                selftime_tolerance = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--selftime-tolerance needs a number"))
             }
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
@@ -63,6 +99,13 @@ fn main() {
         wanted = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
 
+    // One session for the whole invocation: experiment spans, graph-build
+    // spans, autotune counters, and every traced launch land in one
+    // timeline / one registry.
+    if trace_path.is_some() || metrics_path.is_some() {
+        hpsparse_trace::install(hpsparse_trace::TraceSession::new());
+    }
+
     for name in &wanted {
         let started = std::time::Instant::now();
         let out = if name == "selftime" {
@@ -73,6 +116,9 @@ fn main() {
             )
             .expect("write BENCH_repro.json");
             eprintln!("[wrote BENCH_repro.json]");
+            if let Some(baseline) = &selftime_baseline {
+                check_selftime_baseline(&out.json, baseline, selftime_tolerance);
+            }
             out
         } else {
             dispatch(name, effort).unwrap_or_else(|| usage(&format!("unknown experiment {name}")))
@@ -90,6 +136,57 @@ fn main() {
             eprintln!("[wrote {path}]");
         }
     }
+
+    if let Some(session) = hpsparse_trace::uninstall() {
+        if let Some(path) = &trace_path {
+            session
+                .write_chrome_trace(path)
+                .unwrap_or_else(|e| panic!("write trace {path}: {e}"));
+            eprintln!("[wrote {path}]");
+        }
+        if let Some(path) = &metrics_path {
+            session
+                .write_metrics(path)
+                .unwrap_or_else(|e| panic!("write metrics {path}: {e}"));
+            eprintln!("[wrote {path}]");
+        }
+    }
+}
+
+/// Compares a fresh `selftime` total against a committed baseline, failing
+/// the process when the harness got more than `tolerance` slower. Only
+/// totals are compared — per-experiment noise is too high on shared CI
+/// machines — and a baseline recorded at a different effort or thread
+/// count is rejected rather than silently compared.
+fn check_selftime_baseline(fresh: &serde_json::Value, baseline_path: &str, tolerance: f64) {
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| usage(&format!("--selftime-baseline {baseline_path}: {e}")));
+    let baseline: serde_json::Value = serde_json::from_str(&text)
+        .unwrap_or_else(|e| usage(&format!("--selftime-baseline {baseline_path}: {e}")));
+    for key in ["effort", "threads"] {
+        let (b, f) = (&baseline[key], &fresh[key]);
+        if b != f {
+            eprintln!(
+                "[selftime-baseline] {key} mismatch (baseline {b}, fresh {f}) — not comparable"
+            );
+            std::process::exit(2);
+        }
+    }
+    let base = baseline["total_seconds"].as_f64().unwrap_or_else(|| {
+        usage(&format!(
+            "--selftime-baseline {baseline_path}: no total_seconds"
+        ))
+    });
+    let now = fresh["total_seconds"].as_f64().expect("selftime totals");
+    let ratio = now / base;
+    eprintln!(
+        "[selftime-baseline] total {now:.2}s vs baseline {base:.2}s \
+         (ratio {ratio:.3}, tolerance +{tolerance:.3})"
+    );
+    if ratio > 1.0 + tolerance {
+        eprintln!("[selftime-baseline] REGRESSION beyond tolerance");
+        std::process::exit(1);
+    }
 }
 
 fn usage(err: &str) -> ! {
@@ -97,7 +194,8 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro [--quick|--full] [--json DIR] <experiment>...\n\
+        "usage: repro [--quick|--full] [--json DIR] [--trace FILE] [--metrics FILE]\n\
+         \x20            [--selftime-baseline FILE] [--selftime-tolerance F] <experiment>...\n\
          experiments: fig9 fig9a30 fig10 table3 table4 tcgnn reorder fig11 \
          fig12 fig13 alpha futurework bell fused table5 autotune sanitize fastcheck formats \
          profile datasets all selftime"

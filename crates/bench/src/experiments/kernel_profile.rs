@@ -1,5 +1,11 @@
 //! `repro profile` — Nsight-style profiles of the main kernels on one
 //! graph, for studying *why* the comparisons come out the way they do.
+//!
+//! This is the harness's observability showcase: when a trace session is
+//! installed (`repro --trace/--metrics`), every launch below runs on a
+//! tracer-attached simulator, so the exported timeline carries one lane
+//! per SM with blocks placed by the wave schedule, and the metrics
+//! registry fills with the NCU-style counters `render_metrics` prints.
 
 use crate::experiments::{Effort, ExperimentOutput};
 use crate::runner::bench_features;
@@ -8,8 +14,34 @@ use hpsparse_core::hp::{HpSddmm, HpSpmm};
 use hpsparse_core::traits::{SddmmKernel, SpmmKernel};
 use hpsparse_datasets::registry::by_name;
 use hpsparse_datasets::store;
-use hpsparse_sim::{profile, DeviceSpec};
-use serde_json::json;
+use hpsparse_sim::{profile, DeviceSpec, GpuSim, LaunchReport};
+use serde_json::{json, ToJson};
+
+/// A fresh cold-cache simulator with the globally installed trace session
+/// (if any) attached, so `repro --trace` sees every profiled launch.
+fn profiled_sim(device: &DeviceSpec) -> GpuSim {
+    let mut sim = GpuSim::new(device.clone());
+    if let Some(session) = hpsparse_trace::current() {
+        sim.attach_tracer(session);
+    }
+    sim
+}
+
+fn record(
+    text: &mut String,
+    json_rows: &mut Vec<serde_json::Value>,
+    name: &str,
+    report: &LaunchReport,
+) {
+    text.push_str(&profile::render(name, report));
+    text.push_str(&profile::render_metrics(report));
+    text.push('\n');
+    json_rows.push(json!({
+        "kernel": name,
+        "cycles": report.cycles,
+        "report": report.to_json(),
+    }));
+}
 
 /// Profiles HP and representative baselines on Flickr.
 pub fn run(effort: Effort, k: usize) -> ExperimentOutput {
@@ -30,29 +62,26 @@ pub fn run(effort: Effort, k: usize) -> ExperimentOutput {
     let mut json_rows = Vec::new();
 
     let hp = HpSpmm::auto(&device, &s, k);
-    let run = hp.run(&device, &s, &a).unwrap();
-    text.push_str(&profile::render(hp.name(), &run.report));
-    text.push('\n');
-    json_rows.push(json!({"kernel": hp.name(), "cycles": run.report.cycles}));
+    let run = hp.run_on(&mut profiled_sim(&device), &s, &a).unwrap();
+    record(&mut text, &mut json_rows, hp.name(), &run.report);
 
     for kernel in [
         Box::new(CusparseCsrAlg2) as Box<dyn SpmmKernel>,
         Box::new(GeSpmm),
     ] {
-        let run = kernel.run(&device, &s, &a).unwrap();
-        text.push_str(&profile::render(kernel.name(), &run.report));
-        text.push('\n');
-        json_rows.push(json!({"kernel": kernel.name(), "cycles": run.report.cycles}));
+        let run = kernel.run_on(&mut profiled_sim(&device), &s, &a).unwrap();
+        record(&mut text, &mut json_rows, kernel.name(), &run.report);
     }
 
     let hp_sd = HpSddmm::auto(&device, &s, k);
-    let run = hp_sd.run(&device, &s, &a1, &a2t).unwrap();
-    text.push_str(&profile::render(hp_sd.name(), &run.report));
-    text.push('\n');
-    json_rows.push(json!({"kernel": hp_sd.name(), "cycles": run.report.cycles}));
-    let run = DglSddmm.run(&device, &s, &a1, &a2t).unwrap();
-    text.push_str(&profile::render(DglSddmm.name(), &run.report));
-    json_rows.push(json!({"kernel": DglSddmm.name(), "cycles": run.report.cycles}));
+    let run = hp_sd
+        .run_on(&mut profiled_sim(&device), &s, &a1, &a2t)
+        .unwrap();
+    record(&mut text, &mut json_rows, hp_sd.name(), &run.report);
+    let run = DglSddmm
+        .run_on(&mut profiled_sim(&device), &s, &a1, &a2t)
+        .unwrap();
+    record(&mut text, &mut json_rows, DglSddmm.name(), &run.report);
 
     ExperimentOutput {
         id: "profile",
@@ -71,5 +100,14 @@ mod tests {
         assert_eq!(out.json["kernels"].as_array().unwrap().len(), 5);
         assert!(out.text.contains("HP-SpMM"));
         assert!(out.text.contains("bound by"));
+        // The NCU-style metric block rides along with every profile.
+        assert!(out.text.contains(hpsparse_trace::names::GPU_CYCLES));
+        assert!(out.text.contains(hpsparse_trace::names::L2_HIT_RATE_PCT));
+        // Each kernel row embeds the full serialised report.
+        for row in out.json["kernels"].as_array().unwrap() {
+            let report = &row["report"];
+            assert!(report["cycles"].as_u64().is_some(), "{row:?}");
+            assert!(report["derived"]["imbalance"].as_f64().is_some());
+        }
     }
 }

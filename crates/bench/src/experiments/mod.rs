@@ -87,6 +87,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "table5",
     "autotune",
     "sanitize",
+    "profile",
 ];
 
 /// Runs one experiment by its `repro` name. Returns `None` for unknown
@@ -95,6 +96,10 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
 pub fn dispatch(name: &str, effort: Effort) -> Option<ExperimentOutput> {
     use hpsparse_sim::DeviceSpec;
     let k = DEFAULT_K;
+    let _span = hpsparse_trace::span_with(
+        &format!("experiment:{name}"),
+        &[("effort", serde_json::json!(effort.label()))],
+    );
     Some(match name {
         "fig9" => fullgraph::run(&DeviceSpec::v100(), effort, k),
         "fig9a30" => {

@@ -74,6 +74,11 @@ fn fold(verdict: &mut KernelVerdict, graph: &str, report: &Report) {
     verdict.memcheck += report.memcheck;
     verdict.racecheck += report.racecheck;
     verdict.initcheck += report.initcheck;
+    hpsparse_trace::counter_add("sanitize.launches", report.launches);
+    hpsparse_trace::counter_add("sanitize.events", report.events);
+    hpsparse_trace::counter_add("sanitize.violations.memcheck", report.memcheck);
+    hpsparse_trace::counter_add("sanitize.violations.racecheck", report.racecheck);
+    hpsparse_trace::counter_add("sanitize.violations.initcheck", report.initcheck);
     if !report.passed() {
         verdict.failing_graphs.push(graph.to_string());
         for v in report.examples.iter().take(2) {
@@ -116,6 +121,10 @@ pub fn collect(device: &DeviceSpec, effort: Effort, k: usize) -> Vec<KernelVerdi
 
     let mut verdicts: Vec<KernelVerdict> = Vec::new();
     for id in &spmm_ids {
+        let _span = hpsparse_trace::span_with(
+            &format!("sanitize:{id}"),
+            &[("graphs", json!(graphs.len()))],
+        );
         let mut verdict = new_verdict(id.clone());
         for (graph, s) in &graphs {
             let kernel: Box<dyn hpsparse_core::SpmmKernel> = if id == "hp-spmm" {
@@ -135,6 +144,10 @@ pub fn collect(device: &DeviceSpec, effort: Effort, k: usize) -> Vec<KernelVerdi
         verdicts.push(verdict);
     }
     for id in &sddmm_ids {
+        let _span = hpsparse_trace::span_with(
+            &format!("sanitize:{id}"),
+            &[("graphs", json!(graphs.len()))],
+        );
         let mut verdict = new_verdict(id.clone());
         for (graph, s) in &graphs {
             let kernel: Box<dyn hpsparse_core::SddmmKernel> = if id == "hp-sddmm" {
@@ -192,6 +205,7 @@ impl MutantVerdict {
 
 /// Runs every seeded mutant under the sanitizer.
 pub fn collect_mutants(device: &DeviceSpec) -> Vec<MutantVerdict> {
+    let _span = hpsparse_trace::span("sanitize:mutants");
     let s = mutants::mutant_test_graph();
     let a = crate::runner::bench_features(s.cols(), SANITIZE_K);
     mutants::all_mutants()

@@ -1,0 +1,111 @@
+//! End-to-end test of `repro --trace/--metrics`: the exported Perfetto
+//! timeline and metrics registry must exist, parse, carry the profiled
+//! HP-SpMM and HP-SDDMM launches on one-lane-per-SM tracks, and be
+//! byte-identical across reruns — the artefact-level version of the
+//! determinism guarantee the rest of the harness makes for stdout.
+
+use serde_json::Value;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn run_profile(tag: &str) -> (String, String) {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("trace_flags");
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+    let trace = dir.join(format!("trace-{tag}.json"));
+    let metrics = dir.join(format!("metrics-{tag}.json"));
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "--quick",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--metrics",
+            metrics.to_str().unwrap(),
+            "profile",
+        ])
+        .env("RAYON_NUM_THREADS", "2")
+        .output()
+        .expect("run repro");
+    assert!(
+        out.status.success(),
+        "repro --trace/--metrics profile failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (
+        std::fs::read_to_string(&trace).expect("trace file written"),
+        std::fs::read_to_string(&metrics).expect("metrics file written"),
+    )
+}
+
+#[test]
+fn trace_and_metrics_exports_are_valid_and_deterministic() {
+    let (trace_a, metrics_a) = run_profile("a");
+
+    // -- The trace parses as Chrome trace-event JSON.
+    let doc = serde_json::from_str(&trace_a).expect("trace parses");
+    let events = doc["traceEvents"].as_array().expect("traceEvents array");
+    assert!(events.len() > 1000, "timeline is non-trivial");
+
+    // -- Both an HP-SpMM and an HP-SDDMM launch appear as complete slices.
+    let launch_names: Vec<&str> = events
+        .iter()
+        .filter(|e| e["ph"].as_str() == Some("X") && e["args"].get("waves").is_some())
+        .filter_map(|e| e["name"].as_str())
+        .collect();
+    assert!(launch_names.contains(&"HP-SpMM"), "{launch_names:?}");
+    assert!(launch_names.contains(&"HP-SDDMM"), "{launch_names:?}");
+
+    // -- One lane per SM: the V100 profile run names all 80 SM tracks
+    //    (plus the harness lane).
+    let sm_lanes = events
+        .iter()
+        .filter(|e| {
+            e["ph"].as_str() == Some("M")
+                && e["name"].as_str() == Some("thread_name")
+                && e["args"]["name"]
+                    .as_str()
+                    .is_some_and(|n| n.starts_with("SM "))
+        })
+        .count();
+    assert_eq!(sm_lanes, 80, "one named lane per V100 SM");
+
+    // -- Experiment and graph-build spans from the harness lane survive
+    //    into the export.
+    let span_names: Vec<&str> = events
+        .iter()
+        .filter(|e| e["ph"].as_str() == Some("B"))
+        .filter_map(|e| e["name"].as_str())
+        .collect();
+    assert!(span_names.contains(&"experiment:profile"), "{span_names:?}");
+    assert!(span_names.contains(&"graph:Flickr"), "{span_names:?}");
+
+    // -- Timestamps are monotonically non-decreasing per lane.
+    let mut cursor: std::collections::HashMap<u64, f64> = Default::default();
+    for e in events {
+        let Some(ts) = e["ts"].as_f64() else { continue };
+        let tid = e["tid"].as_u64().expect("tid");
+        let last = cursor.entry(tid).or_insert(f64::MIN);
+        assert!(ts >= *last, "ts regressed on lane {tid}: {ts} < {last}");
+        *last = ts;
+    }
+
+    // -- The metrics export parses and carries both launches' NCU-style
+    //    counters plus the run's launch count.
+    let m: Value = serde_json::from_str(&metrics_a).expect("metrics parse");
+    for key in [
+        "launch.HP-SpMM.gpu__cycles_elapsed.sum",
+        "launch.HP-SpMM.lts__t_sector_hit_rate.pct",
+        "launch.HP-SDDMM.gpu__cycles_elapsed.sum",
+        "launch.HP-SDDMM.smsp__warp_cycles",
+    ] {
+        assert!(m.get(key).is_some(), "metrics missing {key}");
+    }
+    assert!(
+        m["launch.HP-SpMM.launch__count.sum"]["value"].as_u64() >= Some(1),
+        "HP-SpMM launch counted"
+    );
+
+    // -- Byte-identical on rerun: the whole pipeline is deterministic.
+    let (trace_b, metrics_b) = run_profile("b");
+    assert_eq!(trace_a, trace_b, "trace export must be byte-stable");
+    assert_eq!(metrics_a, metrics_b, "metrics export must be byte-stable");
+}

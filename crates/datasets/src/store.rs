@@ -95,6 +95,10 @@ fn validated(graph: Graph, what: &str) -> Graph {
 /// entering the cache.
 pub fn graph(spec: &DatasetSpec, max_edges: usize) -> Arc<Graph> {
     graph_store().get_or_build((spec.name, max_edges), || {
+        let _span = hpsparse_trace::span_with(
+            &format!("graph:{}", spec.name),
+            &[("max_edges", serde_json::json!(max_edges))],
+        );
         validated(spec.generate(max_edges), spec.name)
     })
 }
@@ -103,6 +107,10 @@ pub fn graph(spec: &DatasetSpec, max_edges: usize) -> Arc<Graph> {
 /// sampled subgraph is structurally validated before entering the cache.
 pub fn corpus(count: usize, seed: u64) -> Arc<Vec<Graph>> {
     corpus_store().get_or_build((count, seed), || {
+        let _span = hpsparse_trace::span_with(
+            "graph:sampling-corpus",
+            &[("count", serde_json::json!(count))],
+        );
         sampling_corpus(count, seed)
             .into_iter()
             .enumerate()

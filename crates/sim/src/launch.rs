@@ -13,6 +13,7 @@ use crate::memory::MemorySpace;
 use crate::occupancy::{occupancy_of, tail_utilization, waves, KernelResources};
 use crate::sink::{AccessSink, BufferDecl, BufferRole};
 use crate::tally::{WarpCounters, WarpTally};
+use hpsparse_trace::{names, LaunchTimeline, MetricsRegistry, TraceSession};
 
 /// Launch geometry: total warps and the per-block resources that determine
 /// occupancy via Eq. 3.
@@ -78,6 +79,125 @@ impl LaunchReport {
             self.totals.global_bytes as f64 / self.cycles as f64
         }
     }
+
+    /// Total sectors served by L2 (see [`WarpCounters::traffic`]).
+    pub fn traffic(&self) -> u64 {
+        self.totals.traffic()
+    }
+
+    /// Bytes fetched from DRAM (only L2 misses reach HBM).
+    pub fn dram_bytes(&self) -> u64 {
+        self.totals.dram_sectors * crate::memory::SECTOR_BYTES as u64
+    }
+
+    /// The launch's scalar metrics under the stable NCU-style names of
+    /// [`hpsparse_trace::names`], in fixed order: `(name, value,
+    /// is_counter)`. Counters accumulate across launches in a metrics
+    /// registry; the rest are gauges (last launch wins). This is the one
+    /// list behind [`Self::record_metrics`] and
+    /// [`crate::profile::render_metrics`].
+    pub fn metric_values(&self) -> Vec<(&'static str, f64, bool)> {
+        vec![
+            (names::GPU_CYCLES, self.cycles as f64, true),
+            (names::GPU_TIME_MS, self.time_ms, false),
+            (names::LAUNCH_BLOCKS, self.blocks as f64, true),
+            (names::LAUNCH_WARPS, self.warps as f64, true),
+            (names::LAUNCH_WAVES, self.num_waves as f64, true),
+            (names::LAUNCH_FULL_WAVE, self.full_wave_size as f64, false),
+            (
+                names::LAUNCH_ACTIVE_BLOCKS,
+                self.active_blocks_per_sm as f64,
+                false,
+            ),
+            (
+                names::WARP_OCCUPANCY_PCT,
+                self.warp_occupancy * 100.0,
+                false,
+            ),
+            (
+                names::TAIL_UTILIZATION_PCT,
+                self.tail_utilization * 100.0,
+                false,
+            ),
+            (names::INST_EXECUTED, self.totals.instructions as f64, true),
+            (names::SHARED_OPS, self.totals.shared_ops as f64, true),
+            (names::ATOMICS, self.totals.atomics as f64, true),
+            (names::SHUFFLES, self.totals.shuffles as f64, true),
+            (names::GLOBAL_BYTES, self.totals.global_bytes as f64, true),
+            (names::TRANSACTIONS, self.totals.transactions as f64, true),
+            (names::L2_SECTORS, self.traffic() as f64, true),
+            (
+                names::L2_HIT_SECTORS,
+                self.totals.l2_hit_sectors as f64,
+                true,
+            ),
+            (names::L2_HIT_RATE_PCT, self.l2_hit_rate * 100.0, false),
+            (names::DRAM_SECTORS, self.totals.dram_sectors as f64, true),
+            (names::DRAM_BYTES, self.dram_bytes() as f64, true),
+            (
+                names::BYTES_PER_CYCLE,
+                self.achieved_bytes_per_cycle(),
+                false,
+            ),
+            (names::WARP_CYCLES_MAX, self.max_warp_cycles, false),
+            (names::WARP_CYCLES_AVG, self.mean_warp_cycles, false),
+            (names::WARP_IMBALANCE, self.imbalance(), false),
+            (
+                names::DRAM_BOUND_CYCLES,
+                self.dram_bound_cycles as f64,
+                true,
+            ),
+            (names::SCHEDULE_CYCLES, self.schedule_cycles as f64, true),
+        ]
+    }
+
+    /// Records this launch into `metrics` under
+    /// `launch.<kernel>.<metric>` names (counters accumulate, gauges
+    /// overwrite), plus a `launch__count.sum` counter.
+    pub fn record_metrics(&self, metrics: &MetricsRegistry, kernel: &str) {
+        metrics.add(&names::launch_metric(kernel, names::LAUNCH_COUNT), 1);
+        for (name, value, is_counter) in self.metric_values() {
+            let key = names::launch_metric(kernel, name);
+            if is_counter {
+                metrics.add(&key, value as u64);
+            } else {
+                metrics.set(&key, value);
+            }
+        }
+    }
+}
+
+impl serde_json::ToJson for LaunchReport {
+    /// Field-order-stable JSON: every struct field in declaration order
+    /// (with `totals` nested), then the derived metrics. The exact shape
+    /// is pinned by a golden test in `tests/report_json.rs` so a silent
+    /// field addition cannot slip past `fastcheck`'s field-for-field
+    /// equality unnoticed.
+    fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "cycles": self.cycles,
+            "time_ms": self.time_ms,
+            "blocks": self.blocks,
+            "warps": self.warps,
+            "num_waves": self.num_waves,
+            "full_wave_size": self.full_wave_size,
+            "active_blocks_per_sm": self.active_blocks_per_sm,
+            "warp_occupancy": self.warp_occupancy,
+            "tail_utilization": self.tail_utilization,
+            "totals": self.totals,
+            "l2_hit_rate": self.l2_hit_rate,
+            "max_warp_cycles": self.max_warp_cycles,
+            "mean_warp_cycles": self.mean_warp_cycles,
+            "dram_bound_cycles": self.dram_bound_cycles,
+            "schedule_cycles": self.schedule_cycles,
+            "derived": serde_json::json!({
+                "imbalance": self.imbalance(),
+                "achieved_bytes_per_cycle": self.achieved_bytes_per_cycle(),
+                "traffic_sectors": self.traffic(),
+                "dram_bytes": self.dram_bytes(),
+            }),
+        })
+    }
 }
 
 /// The simulated GPU: a device spec plus mutable L2 state that persists
@@ -96,6 +216,11 @@ pub struct GpuSim {
     /// memoization is off (see [`WarpTally::set_reference`]). A sink forces
     /// the same behaviour independently of this flag.
     reference_engine: bool,
+    /// Optional trace subscriber; while attached, every launch emits its
+    /// wave-by-wave timeline and NCU-style metrics into the session. Same
+    /// `Option`-test discipline as `sink`: detached costs one branch per
+    /// launch plus one per warp/block, and never changes a reported number.
+    tracer: Option<TraceSession>,
 }
 
 impl GpuSim {
@@ -109,6 +234,7 @@ impl GpuSim {
             sink: None,
             decls: Vec::new(),
             reference_engine: false,
+            tracer: None,
         }
     }
 
@@ -148,6 +274,25 @@ impl GpuSim {
     /// Is an access-event observer currently attached?
     pub fn sink_attached(&self) -> bool {
         self.sink.is_some()
+    }
+
+    /// Attaches a trace session: subsequent launches emit their timeline
+    /// (blocks on SM lanes, counter tracks) and record NCU-style metrics
+    /// into the session's registry. Unlike a sink, a tracer never forces
+    /// the reference engine — it only consumes the per-warp/per-wave
+    /// aggregates the fast engine already produces.
+    pub fn attach_tracer(&mut self, tracer: TraceSession) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Detaches and returns the current trace session, if any.
+    pub fn detach_tracer(&mut self) -> Option<TraceSession> {
+        self.tracer.take()
+    }
+
+    /// Is a trace session currently attached?
+    pub fn tracer_attached(&self) -> bool {
+        self.tracer.is_some()
     }
 
     /// Allocates logical device memory (256-byte aligned).
@@ -243,6 +388,15 @@ impl GpuSim {
         let mut sum_warp_cycles = 0f64;
         let mut schedule_cycles = 0f64;
 
+        // Timeline builder while a tracer is attached. It buffers locally
+        // and touches the session lock only at begin/finish, so the warp
+        // loop below pays one `Option` branch per warp/block — the same
+        // discipline as the sink.
+        let mut timeline = self
+            .tracer
+            .as_ref()
+            .map(|t| LaunchTimeline::begin(t, name, num_sms));
+
         // One tally and one set of per-SM accumulators serve the whole
         // launch; per-warp/per-wave state is reset in place. This keeps the
         // inner loop (millions of warps for the large graphs) free of heap
@@ -262,6 +416,8 @@ impl GpuSim {
         for _wave in 0..num_waves {
             sm_sum.fill(0.0);
             sm_max_block.fill(0.0);
+            let wave_hits0 = totals.l2_hit_sectors;
+            let wave_dram0 = totals.dram_sectors;
             let blocks_this_wave = occ.full_wave_size.min(blocks - block_id);
             for slot in 0..blocks_this_wave {
                 let sm = (slot as usize) % num_sms;
@@ -276,10 +432,16 @@ impl GpuSim {
                     sum_warp_cycles += wc;
                     max_warp_cycles = max_warp_cycles.max(wc);
                     block_max = block_max.max(wc);
+                    if let Some(tl) = timeline.as_mut() {
+                        tl.record_warp(wc);
+                    }
                     warp_id += 1;
                 }
                 sm_sum[sm] += block_max * warps_in_block as f64;
                 sm_max_block[sm] = sm_max_block[sm].max(block_max);
+                if let Some(tl) = timeline.as_mut() {
+                    tl.record_block(sm, block_max, warps_in_block);
+                }
             }
             block_id += blocks_this_wave;
             // An SM finishes when its slowest block does, or when its
@@ -295,6 +457,16 @@ impl GpuSim {
                 .map(|sm| sm_max_block[sm].max(sm_sum[sm] / effective_width))
                 .fold(0f64, f64::max);
             schedule_cycles += wave_time;
+            if let Some(tl) = timeline.as_mut() {
+                let hits = totals.l2_hit_sectors - wave_hits0;
+                let dram = totals.dram_sectors - wave_dram0;
+                tl.end_wave(
+                    wave_time,
+                    hits,
+                    dram,
+                    dram * crate::memory::SECTOR_BYTES as u64,
+                );
+            }
         }
         drop(tally);
         if let Some(sink) = self.sink.as_mut() {
@@ -319,8 +491,7 @@ impl GpuSim {
             0.0
         };
         let cycles = schedule_cycles.max(dram_bound).max(floor).ceil() as u64;
-        let traffic = totals.l2_hit_sectors + totals.dram_sectors;
-        LaunchReport {
+        let report = LaunchReport {
             cycles,
             time_ms: self.device.cycles_to_ms(cycles),
             blocks,
@@ -331,11 +502,7 @@ impl GpuSim {
             warp_occupancy: occ.warp_occupancy,
             tail_utilization: tail,
             totals,
-            l2_hit_rate: if traffic == 0 {
-                0.0
-            } else {
-                totals.l2_hit_sectors as f64 / traffic as f64
-            },
+            l2_hit_rate: totals.l2_hit_rate(),
             max_warp_cycles,
             mean_warp_cycles: if config.num_warps == 0 {
                 0.0
@@ -344,7 +511,14 @@ impl GpuSim {
             },
             dram_bound_cycles: dram_bound.ceil() as u64,
             schedule_cycles: schedule_cycles.ceil() as u64,
+        };
+        if let Some(tl) = timeline {
+            tl.finish(report.cycles as f64);
+            if let Some(t) = self.tracer.as_ref() {
+                report.record_metrics(&t.metrics(), name);
+            }
         }
+        report
     }
 }
 

@@ -40,6 +40,6 @@ pub use cache::SectorCache;
 pub use device::{CostModel, DeviceSpec};
 pub use launch::{GpuSim, LaunchConfig, LaunchReport};
 pub use memory::{Buffer, MemorySpace, SECTOR_BYTES};
-pub use occupancy::{occupancy_of, KernelResources, Occupancy};
+pub use occupancy::{occupancy_of, tail_stretch, KernelResources, Occupancy};
 pub use sink::{AccessEvent, AccessKind, AccessSink, BufferDecl, BufferRole};
-pub use tally::WarpTally;
+pub use tally::{WarpCounters, WarpTally};

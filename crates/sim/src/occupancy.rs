@@ -80,6 +80,21 @@ pub fn tail_utilization(blocks: u64, full_wave_size: u64) -> f64 {
     }
 }
 
+/// Wave-quantisation stretch: how much wave scheduling inflates ideal
+/// (perfectly divisible) block time. A launch of `blocks` blocks pays for
+/// `waves × full_wave_size` block slots; the ratio to the slots actually
+/// used is ≥ 1 and equals 1 exactly when the launch divides into full
+/// waves. This is the tail-effect factor the autotuner's cost model
+/// charges (Eq. 4's consequence).
+pub fn tail_stretch(blocks: u64, full_wave_size: u64) -> f64 {
+    if blocks == 0 {
+        return 1.0;
+    }
+    let fw = full_wave_size.max(1);
+    let slots = waves(blocks, fw) * fw;
+    (slots as f64 / blocks as f64).max(1.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -6,7 +6,7 @@ use crate::launch::LaunchReport;
 /// Renders a launch report as a multi-line profile block.
 pub fn render(kernel: &str, report: &LaunchReport) -> String {
     let t = &report.totals;
-    let traffic = t.l2_hit_sectors + t.dram_sectors;
+    let traffic = report.traffic();
     let mut out = String::new();
     out.push_str(&format!("kernel       : {kernel}\n"));
     out.push_str(&format!(
@@ -54,6 +54,24 @@ pub fn render(kernel: &str, report: &LaunchReport) -> String {
     out
 }
 
+/// Renders the same report as `name value` lines under the stable
+/// NCU-style metric names (see [`hpsparse_trace::names`]) — one line per
+/// entry of [`LaunchReport::metric_values`], in its fixed order. This is
+/// the text twin of [`LaunchReport::record_metrics`]: same names, same
+/// values, so a metrics JSON export and a stdout profile can be diffed
+/// against each other by name.
+pub fn render_metrics(report: &LaunchReport) -> String {
+    let mut out = String::new();
+    for (name, value, is_counter) in report.metric_values() {
+        if is_counter {
+            out.push_str(&format!("  {name:<42} {}\n", value as u64));
+        } else {
+            out.push_str(&format!("  {name:<42} {value:.3}\n"));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,5 +111,12 @@ mod tests {
             assert!(text.contains(section), "missing {section}:\n{text}");
         }
         assert!(text.contains("test-kernel"));
+
+        // The NCU-style block lists every metric exactly once.
+        let metrics = render_metrics(&report);
+        assert_eq!(metrics.lines().count(), report.metric_values().len());
+        for (name, _, _) in report.metric_values() {
+            assert!(metrics.contains(name), "missing metric {name}");
+        }
     }
 }

@@ -91,6 +91,42 @@ impl WarpCounters {
         self.global_bytes += other.global_bytes;
         self.transactions += other.transactions;
     }
+
+    /// Total sectors served by L2 (hits + DRAM fetches) — the launch's
+    /// global-memory traffic. The single definition behind every L2-hit-
+    /// rate figure in the workspace.
+    pub fn traffic(&self) -> u64 {
+        self.l2_hit_sectors + self.dram_sectors
+    }
+
+    /// L2 hit rate over [`Self::traffic`] (0.0 when there was none).
+    pub fn l2_hit_rate(&self) -> f64 {
+        let traffic = self.traffic();
+        if traffic == 0 {
+            0.0
+        } else {
+            self.l2_hit_sectors as f64 / traffic as f64
+        }
+    }
+}
+
+impl serde_json::ToJson for WarpCounters {
+    /// Field-order-stable JSON (declaration order). The shape is pinned by
+    /// a golden test in `tests/report_json.rs`: adding a field without
+    /// updating the snapshot — and with it `fastcheck`'s field-for-field
+    /// equality — is a test failure, not a silent hole.
+    fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "instructions": self.instructions,
+            "shared_ops": self.shared_ops,
+            "l2_hit_sectors": self.l2_hit_sectors,
+            "dram_sectors": self.dram_sectors,
+            "atomics": self.atomics,
+            "shuffles": self.shuffles,
+            "global_bytes": self.global_bytes,
+            "transactions": self.transactions,
+        })
+    }
 }
 
 /// Memoization state of the current warp (see [`WarpTally::begin_memo`]).

@@ -1,0 +1,210 @@
+//! Trace-export coverage: the emitted Chrome trace parses, timestamps are
+//! monotonic per lane, the trace carries one lane per SM of the device,
+//! and identical runs export byte-identical files.
+
+use hpsparse_sim::{DeviceSpec, GpuSim, KernelResources, LaunchConfig};
+use hpsparse_trace::{Metric, TraceSession};
+use std::collections::BTreeMap;
+
+fn res() -> KernelResources {
+    KernelResources {
+        warps_per_block: 8,
+        registers_per_thread: 32,
+        shared_mem_per_block: 4096,
+    }
+}
+
+/// Two launches (one spilling into a second wave) under an experiment
+/// span — the traced workload every test here inspects.
+fn traced_run() -> TraceSession {
+    let session = TraceSession::new();
+    let mut sim = GpuSim::new(DeviceSpec::v100());
+    sim.attach_tracer(session.clone());
+    assert!(sim.tracer_attached());
+    let span = session.span("experiment");
+    let full_wave = hpsparse_sim::occupancy_of(sim.device(), &res()).full_wave_size;
+    sim.launch_named(
+        "kernel-a",
+        LaunchConfig {
+            num_warps: (full_wave + 1) * 8, // one block into a second wave
+            resources: res(),
+        },
+        |w, t| {
+            t.compute(100 + (w % 7) * 10);
+            t.global_read(w * 128, 128, 4);
+        },
+    );
+    sim.launch_named(
+        "kernel-b",
+        LaunchConfig {
+            num_warps: 64,
+            resources: res(),
+        },
+        |_, t| t.compute(500),
+    );
+    drop(span);
+    session
+}
+
+#[test]
+fn trace_parses_and_carries_both_launches() {
+    let session = traced_run();
+    let doc = serde_json::from_str(&session.to_chrome_json()).expect("trace must parse");
+    let events = doc["traceEvents"].as_array().expect("traceEvents array");
+    let names: Vec<&str> = events.iter().filter_map(|e| e["name"].as_str()).collect();
+    for expected in [
+        "kernel-a",
+        "kernel-b",
+        "experiment",
+        "wave 0",
+        "wave 1",
+        "block 0",
+    ] {
+        assert!(names.contains(&expected), "missing event {expected}");
+    }
+    // Counter tracks sample once per wave (3 waves total).
+    let counters = events
+        .iter()
+        .filter(|e| e["ph"].as_str() == Some("C") && e["name"].as_str() == Some("L2 hit rate"))
+        .count();
+    assert_eq!(counters, 3);
+}
+
+#[test]
+fn one_lane_per_sm_of_the_device() {
+    let session = traced_run();
+    let doc = serde_json::from_str(&session.to_chrome_json()).unwrap();
+    let sm_lanes = doc["traceEvents"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .filter(|e| {
+            e["ph"].as_str() == Some("M")
+                && e["name"].as_str() == Some("thread_name")
+                && e["args"]["name"]
+                    .as_str()
+                    .is_some_and(|n| n.starts_with("SM "))
+        })
+        .count();
+    assert_eq!(sm_lanes as u32, DeviceSpec::v100().num_sms);
+}
+
+#[test]
+fn timestamps_are_monotonic_per_lane() {
+    let session = traced_run();
+    let doc = serde_json::from_str(&session.to_chrome_json()).unwrap();
+    let mut last_ts: BTreeMap<i64, f64> = BTreeMap::new();
+    let mut timed_events = 0;
+    for e in doc["traceEvents"].as_array().unwrap() {
+        if e["ph"].as_str() == Some("M") {
+            continue; // metadata carries no timestamp
+        }
+        let tid = e["tid"].as_i64().expect("tid");
+        let ts = e["ts"].as_f64().expect("ts");
+        let prev = last_ts.entry(tid).or_insert(f64::NEG_INFINITY);
+        assert!(
+            ts >= *prev,
+            "lane {tid}: ts {ts} went backwards (prev {prev})"
+        );
+        *prev = ts;
+        timed_events += 1;
+    }
+    assert!(timed_events > 100, "expected a real timeline");
+}
+
+#[test]
+fn block_slices_stay_inside_their_launch() {
+    let session = traced_run();
+    let doc = serde_json::from_str(&session.to_chrome_json()).unwrap();
+    let events = doc["traceEvents"].as_array().unwrap();
+    let launch = events
+        .iter()
+        .find(|e| e["name"].as_str() == Some("kernel-a"))
+        .unwrap();
+    let (t0, dur) = (
+        launch["ts"].as_f64().unwrap(),
+        launch["dur"].as_f64().unwrap(),
+    );
+    for e in events {
+        if e["name"].as_str().is_some_and(|n| n.starts_with("block "))
+            && e["ts"].as_f64().unwrap() < t0 + dur
+        {
+            let end = e["ts"].as_f64().unwrap() + e["dur"].as_f64().unwrap();
+            assert!(
+                end <= t0 + dur + 1e-9,
+                "block slice escapes its launch window"
+            );
+        }
+    }
+}
+
+#[test]
+fn two_runs_export_identical_bytes() {
+    let a = traced_run();
+    let b = traced_run();
+    assert_eq!(a.to_chrome_json(), b.to_chrome_json());
+    assert_eq!(
+        serde_json::to_string(&a.metrics().to_json()).unwrap(),
+        serde_json::to_string(&b.metrics().to_json()).unwrap()
+    );
+}
+
+#[test]
+fn launch_metrics_land_in_the_registry() {
+    let session = traced_run();
+    let m = session.metrics();
+    assert_eq!(
+        m.get("launch.kernel-a.launch__count.sum"),
+        Some(Metric::Counter(1))
+    );
+    match m.get("launch.kernel-a.gpu__cycles_elapsed.sum") {
+        Some(Metric::Counter(c)) => assert!(c > 0),
+        other => panic!("expected cycles counter, got {other:?}"),
+    }
+    match m.get("launch.kernel-b.smsp__warp_cycles") {
+        Some(Metric::Histogram(h)) => assert_eq!(h.count(), 64),
+        other => panic!("expected warp-cycle histogram, got {other:?}"),
+    }
+    // Gauges carry the derived figures under their NCU names.
+    assert!(matches!(
+        m.get("launch.kernel-a.lts__t_sector_hit_rate.pct"),
+        Some(Metric::Gauge(_))
+    ));
+}
+
+#[test]
+fn detached_tracer_emits_nothing_and_changes_nothing() {
+    let run = |tracer: Option<TraceSession>| {
+        let mut sim = GpuSim::new(DeviceSpec::v100());
+        if let Some(t) = tracer {
+            sim.attach_tracer(t);
+        }
+        sim.launch_named(
+            "k",
+            LaunchConfig {
+                num_warps: 128,
+                resources: res(),
+            },
+            |w, t| {
+                t.compute(100 + w);
+                t.global_read(w * 64, 64, 4);
+            },
+        )
+    };
+    let session = TraceSession::new();
+    let traced = run(Some(session.clone()));
+    let untraced = run(None);
+    // Tracing is observation only: bit-identical reports either way.
+    assert_eq!(traced, untraced);
+    assert!(session.event_count() > 2);
+
+    // Detaching stops emission.
+    let mut sim = GpuSim::new(DeviceSpec::v100());
+    sim.attach_tracer(session.clone());
+    let detached = sim.detach_tracer();
+    assert!(detached.is_some());
+    assert!(!sim.tracer_attached());
+    let before = session.event_count();
+    run(None);
+    assert_eq!(session.event_count(), before);
+}

@@ -1,0 +1,190 @@
+//! Chrome trace-event / Perfetto JSON rendering.
+//!
+//! The exported document follows the Trace Event Format understood by
+//! `chrome://tracing` and <https://ui.perfetto.dev>: a `traceEvents` array
+//! of `B`/`E` (span begin/end), `X` (complete slice with `dur`), `C`
+//! (counter sample), `i` (instant) and `M` (metadata) records. Everything
+//! lives in one synthetic process (`pid` [`PID`]); `tid` picks the lane —
+//! [`HARNESS_TID`] for host-side spans, [`SM_TID_BASE`]` + n` for the
+//! simulated SM `n`. Timestamps are **simulated cycles**, not wall-clock
+//! microseconds, which is exactly what makes the export bit-reproducible.
+
+use serde_json::{json, Number, Value};
+
+/// The single synthetic process id every event uses.
+pub const PID: u64 = 1;
+/// Lane for host-side structural spans (experiments, planning, launches).
+pub const HARNESS_TID: u64 = 0;
+/// Simulated SM `n` renders on lane `SM_TID_BASE + n`.
+pub const SM_TID_BASE: u64 = 16;
+
+/// Trace-event phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// `B` — span begin.
+    Begin,
+    /// `E` — span end.
+    End,
+    /// `X` — complete slice (carries `dur`).
+    Complete,
+    /// `C` — counter sample.
+    Counter,
+    /// `i` — instant event.
+    Instant,
+    /// `M` — metadata (process/thread names).
+    Metadata,
+}
+
+impl Phase {
+    fn code(self) -> &'static str {
+        match self {
+            Phase::Begin => "B",
+            Phase::End => "E",
+            Phase::Complete => "X",
+            Phase::Counter => "C",
+            Phase::Instant => "i",
+            Phase::Metadata => "M",
+        }
+    }
+}
+
+/// One record of the `traceEvents` array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChromeEvent {
+    /// Event (slice/counter/lane) name.
+    pub name: String,
+    /// Phase letter.
+    pub ph: Phase,
+    /// Timestamp in simulated cycles.
+    pub ts: f64,
+    /// Duration in simulated cycles (`X` events only).
+    pub dur: Option<f64>,
+    /// Lane within [`PID`].
+    pub tid: u64,
+    /// Extra key/value payload (insertion order preserved).
+    pub args: Vec<(String, Value)>,
+}
+
+impl ChromeEvent {
+    /// A metadata event naming lane `tid` (Perfetto shows it as the track
+    /// title).
+    pub fn thread_name(tid: u64, name: &str) -> Self {
+        ChromeEvent {
+            name: "thread_name".to_string(),
+            ph: Phase::Metadata,
+            ts: 0.0,
+            dur: None,
+            tid,
+            args: vec![("name".to_string(), json!(name))],
+        }
+    }
+
+    fn to_json(&self) -> Value {
+        let mut o = serde_json::Map::new();
+        o.insert("name".to_string(), json!(self.name));
+        o.insert("ph".to_string(), json!(self.ph.code()));
+        if self.ph != Phase::Metadata {
+            o.insert("ts".to_string(), num(self.ts));
+        }
+        if let Some(d) = self.dur {
+            o.insert("dur".to_string(), num(d));
+        }
+        o.insert("pid".to_string(), json!(PID));
+        o.insert("tid".to_string(), json!(self.tid));
+        if self.ph == Phase::Instant {
+            // Thread-scoped instant: renders as a tick on its lane.
+            o.insert("s".to_string(), json!("t"));
+        }
+        if !self.args.is_empty() {
+            let mut args = serde_json::Map::new();
+            for (k, v) in &self.args {
+                args.insert(k.clone(), v.clone());
+            }
+            o.insert("args".to_string(), Value::Object(args));
+        }
+        Value::Object(o)
+    }
+}
+
+/// Integral cycle counts serialise as JSON integers, fractional ones as
+/// floats — keeps the file compact and the bytes deterministic.
+fn num(v: f64) -> Value {
+    if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        Value::Number(Number::Int(v as i64))
+    } else {
+        Value::Number(Number::Float(v))
+    }
+}
+
+/// Renders events into a complete Chrome trace JSON document.
+pub fn render(events: &[ChromeEvent]) -> String {
+    let doc = json!({
+        "displayTimeUnit": "ms",
+        "otherData": json!({
+            "generator": "hpsparse-trace",
+            "ts_unit": "simulated cycles",
+        }),
+        "traceEvents": Value::Array(events.iter().map(|e| e.to_json()).collect()),
+    });
+    serde_json::to_string(&doc).expect("chrome trace serialisation")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_produces_parseable_trace() {
+        let events = vec![
+            ChromeEvent::thread_name(HARNESS_TID, "harness"),
+            ChromeEvent {
+                name: "experiment \"x\"".to_string(),
+                ph: Phase::Begin,
+                ts: 0.0,
+                dur: None,
+                tid: HARNESS_TID,
+                args: Vec::new(),
+            },
+            ChromeEvent {
+                name: "block 0".to_string(),
+                ph: Phase::Complete,
+                ts: 1.0,
+                dur: Some(120.5),
+                tid: SM_TID_BASE,
+                args: vec![("warps".to_string(), json!(8u64))],
+            },
+            ChromeEvent {
+                name: "experiment \"x\"".to_string(),
+                ph: Phase::End,
+                ts: 130.0,
+                dur: None,
+                tid: HARNESS_TID,
+                args: Vec::new(),
+            },
+        ];
+        let text = render(&events);
+        let doc = serde_json::from_str(&text).expect("trace must parse");
+        let arr = doc["traceEvents"].as_array().unwrap();
+        assert_eq!(arr.len(), 4);
+        assert_eq!(arr[0]["ph"].as_str(), Some("M"));
+        assert_eq!(arr[1]["ts"].as_u64(), Some(0));
+        assert_eq!(arr[2]["dur"].as_f64(), Some(120.5));
+        assert_eq!(arr[2]["args"]["warps"].as_u64(), Some(8));
+        assert_eq!(arr[3]["name"].as_str(), Some("experiment \"x\""));
+    }
+
+    #[test]
+    fn integral_timestamps_serialise_as_integers() {
+        let e = ChromeEvent {
+            name: "t".to_string(),
+            ph: Phase::Complete,
+            ts: 42.0,
+            dur: Some(0.5),
+            tid: 0,
+            args: Vec::new(),
+        };
+        let text = render(std::slice::from_ref(&e));
+        assert!(text.contains("\"ts\":42,"), "{text}");
+        assert!(text.contains("\"dur\":0.5,"), "{text}");
+    }
+}

@@ -1,0 +1,360 @@
+//! The metrics registry: named counters, gauges and histograms with
+//! deterministic JSON/CSV export.
+//!
+//! Keys are plain dotted strings (see [`crate::names`] for the scheme);
+//! storage is a `BTreeMap`, so every export walks metrics in sorted key
+//! order and two identical runs serialise byte-identically. The registry is
+//! a cheap cloneable handle (`Arc<Mutex<…>>`) shared by every component of
+//! a [`crate::TraceSession`].
+
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// A power-of-two-bucketed distribution (per-warp cycles, …).
+///
+/// Bucket `i` counts observations whose ceiling falls in
+/// `(2^i − 2^(i−1), 2^i]` by bit length — i.e. exponentially wider buckets,
+/// which is the right shape for cycle counts spanning 1 to 10^8.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    buckets: Box<[u64; 64]>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            buckets: Box::new([0u64; 64]),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation (negative values clamp to zero).
+    pub fn observe(&mut self, value: f64) {
+        let v = value.max(0.0);
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        self.buckets[Self::bucket_index(v)] += 1;
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    fn bucket_index(v: f64) -> usize {
+        // Bit length of ceil(v): 0 and 1 land in bucket 0 (upper bound 1),
+        // 2 in bucket 1, (2,4] in bucket 2, and so on.
+        let n = (v.ceil() as u64).max(1);
+        63 - n.leading_zeros() as usize + usize::from(!n.is_power_of_two())
+    }
+
+    /// Upper bound of bucket `i` (inclusive).
+    fn bucket_le(i: usize) -> u64 {
+        1u64 << i
+    }
+
+    /// JSON form: scalar summary plus the non-empty buckets as
+    /// `{"le": upper_bound, "count": n}` pairs in ascending order.
+    pub fn to_json(&self) -> Value {
+        let buckets: Vec<Value> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| json!({ "le": Self::bucket_le(i), "count": n }))
+            .collect();
+        json!({
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "buckets": buckets,
+        })
+    }
+}
+
+/// One registered metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// A monotonically accumulated integer (`add`).
+    Counter(u64),
+    /// A last-write-wins float (`set`).
+    Gauge(f64),
+    /// A distribution (`observe` / `merge_histogram`).
+    Histogram(Histogram),
+}
+
+/// A cloneable handle on a shared, sorted metric store.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<BTreeMap<String, Metric>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds to a counter, creating it at zero first if needed. A name
+    /// previously used with a different kind is reset to a counter.
+    pub fn add(&self, name: &str, delta: u64) {
+        let mut m = self.inner.lock().unwrap();
+        match m.get_mut(name) {
+            Some(Metric::Counter(v)) => *v += delta,
+            _ => {
+                m.insert(name.to_string(), Metric::Counter(delta));
+            }
+        }
+    }
+
+    /// Sets a gauge (last write wins).
+    pub fn set(&self, name: &str, value: f64) {
+        self.inner
+            .lock()
+            .unwrap()
+            .insert(name.to_string(), Metric::Gauge(value));
+    }
+
+    /// Records one observation into a histogram, creating it if needed.
+    pub fn observe(&self, name: &str, value: f64) {
+        let mut m = self.inner.lock().unwrap();
+        match m.get_mut(name) {
+            Some(Metric::Histogram(h)) => h.observe(value),
+            _ => {
+                let mut h = Histogram::new();
+                h.observe(value);
+                m.insert(name.to_string(), Metric::Histogram(h));
+            }
+        }
+    }
+
+    /// Folds a pre-built histogram into the named histogram metric.
+    pub fn merge_histogram(&self, name: &str, hist: &Histogram) {
+        let mut m = self.inner.lock().unwrap();
+        match m.get_mut(name) {
+            Some(Metric::Histogram(h)) => h.merge(hist),
+            _ => {
+                m.insert(name.to_string(), Metric::Histogram(hist.clone()));
+            }
+        }
+    }
+
+    /// A snapshot of one metric, if present.
+    pub fn get(&self, name: &str) -> Option<Metric> {
+        self.inner.lock().unwrap().get(name).cloned()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// Whether no metric has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().unwrap().is_empty()
+    }
+
+    /// JSON export: one object keyed by metric name, in sorted order, each
+    /// value tagged with its kind.
+    pub fn to_json(&self) -> Value {
+        let m = self.inner.lock().unwrap();
+        let mut out = serde_json::Map::new();
+        for (name, metric) in m.iter() {
+            let v = match metric {
+                Metric::Counter(c) => json!({ "kind": "counter", "value": *c }),
+                Metric::Gauge(g) => json!({ "kind": "gauge", "value": *g }),
+                Metric::Histogram(h) => {
+                    let mut o = serde_json::Map::new();
+                    o.insert("kind".to_string(), json!("histogram"));
+                    if let Value::Object(fields) = h.to_json() {
+                        for (k, val) in fields.iter() {
+                            o.insert(k.clone(), val.clone());
+                        }
+                    }
+                    Value::Object(o)
+                }
+            };
+            out.insert(name.clone(), v);
+        }
+        Value::Object(out)
+    }
+
+    /// CSV export: `name,kind,value,count,sum,min,max` rows in sorted
+    /// order. Counters/gauges fill `value`; histograms fill the summary
+    /// columns.
+    pub fn to_csv(&self) -> String {
+        let m = self.inner.lock().unwrap();
+        let mut out = String::from("name,kind,value,count,sum,min,max\n");
+        for (name, metric) in m.iter() {
+            match metric {
+                Metric::Counter(c) => out.push_str(&format!("{name},counter,{c},,,,\n")),
+                Metric::Gauge(g) => out.push_str(&format!("{name},gauge,{g:?},,,,\n")),
+                Metric::Histogram(h) => out.push_str(&format!(
+                    "{name},histogram,,{},{:?},{:?},{:?}\n",
+                    h.count(),
+                    h.sum(),
+                    h.min(),
+                    h.max()
+                )),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let m = MetricsRegistry::new();
+        m.add("a.hits", 2);
+        m.add("a.hits", 3);
+        m.set("a.rate", 0.5);
+        m.set("a.rate", 0.75);
+        assert_eq!(m.get("a.hits"), Some(Metric::Counter(5)));
+        assert_eq!(m.get("a.rate"), Some(Metric::Gauge(0.75)));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        assert_eq!(Histogram::bucket_index(0.0), 0);
+        assert_eq!(Histogram::bucket_index(1.0), 0);
+        assert_eq!(Histogram::bucket_index(1.5), 1); // ceil → 2
+        assert_eq!(Histogram::bucket_index(2.0), 1);
+        assert_eq!(Histogram::bucket_index(3.0), 2);
+        assert_eq!(Histogram::bucket_index(4.0), 2);
+        assert_eq!(Histogram::bucket_index(5.0), 3);
+        assert_eq!(Histogram::bucket_index(1024.0), 10);
+        assert_eq!(Histogram::bucket_index(1025.0), 11);
+    }
+
+    #[test]
+    fn histogram_summary_and_merge() {
+        let mut a = Histogram::new();
+        a.observe(10.0);
+        a.observe(100.0);
+        let mut b = Histogram::new();
+        b.observe(1.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 111.0);
+        assert_eq!(a.min(), 1.0);
+        assert_eq!(a.max(), 100.0);
+        assert!((a.mean() - 37.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exports_are_sorted_and_deterministic() {
+        let build = || {
+            let m = MetricsRegistry::new();
+            m.set("z.gauge", 1.25);
+            m.add("a.counter", 7);
+            m.observe("m.hist", 3.0);
+            m.observe("m.hist", 900.0);
+            m
+        };
+        let (m1, m2) = (build(), build());
+        let json1 = serde_json::to_string(&m1.to_json()).unwrap();
+        let json2 = serde_json::to_string(&m2.to_json()).unwrap();
+        assert_eq!(json1, json2);
+        assert_eq!(m1.to_csv(), m2.to_csv());
+        // Sorted key order regardless of insertion order.
+        let keys: Vec<String> = m1
+            .to_json()
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.clone())
+            .collect();
+        assert_eq!(keys, ["a.counter", "m.hist", "z.gauge"]);
+        // CSV carries one header plus one row per metric.
+        assert_eq!(m1.to_csv().lines().count(), 4);
+        assert!(m1
+            .to_csv()
+            .starts_with("name,kind,value,count,sum,min,max\n"));
+    }
+
+    #[test]
+    fn histogram_json_lists_nonempty_buckets_only() {
+        let m = MetricsRegistry::new();
+        m.observe("h", 1.0);
+        m.observe("h", 1.0);
+        m.observe("h", 1000.0);
+        let v = m.to_json();
+        let buckets = v["h"]["buckets"].as_array().unwrap().clone();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0]["le"].as_u64(), Some(1));
+        assert_eq!(buckets[0]["count"].as_u64(), Some(2));
+        assert_eq!(buckets[1]["le"].as_u64(), Some(1024));
+        assert_eq!(buckets[1]["count"].as_u64(), Some(1));
+    }
+}

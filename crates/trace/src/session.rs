@@ -1,0 +1,465 @@
+//! Trace sessions: a shared event buffer with a deterministic logical
+//! clock, plus the per-launch timeline builder the simulator drives.
+//!
+//! A [`TraceSession`] is a cheap cloneable handle (the same
+//! `Arc<Mutex<…>>` shape as the sanitizer): the harness creates one,
+//! installs it globally or attaches it to a `GpuSim`, and every component
+//! appends events into the shared buffer. Time is **logical**: structural
+//! span edges advance the clock by one tick, and a simulated launch
+//! occupies exactly its reported cycle count. No wall clock is ever read,
+//! so two identical runs export byte-identical traces.
+
+use crate::chrome::{self, ChromeEvent, Phase, HARNESS_TID, SM_TID_BASE};
+use crate::metrics::{Histogram, MetricsRegistry};
+use crate::names;
+use serde_json::Value;
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+struct Inner {
+    now: f64,
+    events: Vec<ChromeEvent>,
+    /// How many SM lanes have been named so far (metadata emitted once).
+    sm_lanes: u32,
+}
+
+/// A handle on one tracing session: event buffer, logical clock and
+/// metrics registry.
+#[derive(Clone)]
+pub struct TraceSession {
+    inner: Arc<Mutex<Inner>>,
+    metrics: MetricsRegistry,
+}
+
+impl Default for TraceSession {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceSession {
+    /// Opens a session at logical time zero with named harness lane.
+    pub fn new() -> Self {
+        let events = vec![
+            ChromeEvent {
+                name: "process_name".to_string(),
+                ph: Phase::Metadata,
+                ts: 0.0,
+                dur: None,
+                tid: HARNESS_TID,
+                args: vec![("name".to_string(), serde_json::json!("hpsparse-sim"))],
+            },
+            ChromeEvent::thread_name(HARNESS_TID, "harness"),
+        ];
+        Self {
+            inner: Arc::new(Mutex::new(Inner {
+                now: 0.0,
+                events,
+                sm_lanes: 0,
+            })),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// The session's metrics registry (a shared handle).
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.metrics.clone()
+    }
+
+    /// Current logical time in simulated cycles.
+    pub fn now(&self) -> f64 {
+        self.lock().now
+    }
+
+    /// Number of buffered events (metadata included).
+    pub fn event_count(&self) -> usize {
+        self.lock().events.len()
+    }
+
+    /// Opens a structural span on the harness lane; it closes when the
+    /// returned guard drops. Each edge advances the clock one tick.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        self.span_with(name, &[])
+    }
+
+    /// [`Self::span`] with a key/value payload on the begin edge.
+    pub fn span_with(&self, name: &str, args: &[(&str, Value)]) -> SpanGuard {
+        let mut inner = self.lock();
+        let ts = inner.now;
+        inner.now += 1.0;
+        inner.events.push(ChromeEvent {
+            name: name.to_string(),
+            ph: Phase::Begin,
+            ts,
+            dur: None,
+            tid: HARNESS_TID,
+            args: args
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        });
+        SpanGuard {
+            session: Some((self.clone(), name.to_string())),
+        }
+    }
+
+    /// Drops a thread-scoped instant tick on the harness lane.
+    pub fn instant(&self, name: &str) {
+        let mut inner = self.lock();
+        let ts = inner.now;
+        inner.now += 1.0;
+        inner.events.push(ChromeEvent {
+            name: name.to_string(),
+            ph: Phase::Instant,
+            ts,
+            dur: None,
+            tid: HARNESS_TID,
+            args: Vec::new(),
+        });
+    }
+
+    /// Renders the buffered events as a Chrome trace JSON document.
+    pub fn to_chrome_json(&self) -> String {
+        chrome::render(&self.lock().events)
+    }
+
+    /// Writes the Chrome trace to `path`.
+    pub fn write_chrome_trace(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_chrome_json())
+    }
+
+    /// Writes the metrics registry to `path`: CSV when the extension is
+    /// `csv`, pretty JSON otherwise.
+    pub fn write_metrics(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        let text = if path.extension().and_then(|e| e.to_str()) == Some("csv") {
+            self.metrics.to_csv()
+        } else {
+            let mut s = serde_json::to_string_pretty(&self.metrics.to_json())
+                .expect("metrics serialisation");
+            s.push('\n');
+            s
+        };
+        std::fs::write(path, text)
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap()
+    }
+
+    fn end_span(&self, name: &str) {
+        let mut inner = self.lock();
+        let ts = inner.now;
+        inner.now += 1.0;
+        inner.events.push(ChromeEvent {
+            name: name.to_string(),
+            ph: Phase::End,
+            ts,
+            dur: None,
+            tid: HARNESS_TID,
+            args: Vec::new(),
+        });
+    }
+}
+
+/// Closes its span when dropped. A no-op guard (no subscriber installed)
+/// is a single `Option` test.
+pub struct SpanGuard {
+    session: Option<(TraceSession, String)>,
+}
+
+impl SpanGuard {
+    /// A guard that does nothing — what the facade hands out when tracing
+    /// is disabled.
+    pub fn noop() -> Self {
+        SpanGuard { session: None }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((session, name)) = self.session.take() {
+            session.end_span(&name);
+        }
+    }
+}
+
+/// Builds the timeline of one simulated launch: blocks placed on SM lanes
+/// wave by wave, counter tracks, and the per-warp cycle histogram.
+///
+/// The builder buffers locally and takes the session lock only in
+/// [`LaunchTimeline::begin`] and [`LaunchTimeline::finish`], so the
+/// simulator's per-warp hot loop never contends on the session.
+pub struct LaunchTimeline {
+    session: TraceSession,
+    kernel: String,
+    t0: f64,
+    wave_start: f64,
+    num_sms: usize,
+    /// Blocks of the current wave: (sm, true cycles, warps).
+    wave_blocks: Vec<(usize, f64, u64)>,
+    block_seq: u64,
+    wave_seq: u64,
+    events: Vec<ChromeEvent>,
+    warp_hist: Histogram,
+    /// Scratch: per-SM placement cursor and per-SM duration sum.
+    sm_cursor: Vec<f64>,
+}
+
+impl LaunchTimeline {
+    /// Starts a timeline for `kernel` at the session's current time. SM
+    /// lanes are named on first use so the trace always carries one lane
+    /// per SM of the device.
+    pub fn begin(session: &TraceSession, kernel: &str, num_sms: usize) -> Self {
+        let t0 = {
+            let mut inner = session.lock();
+            while (inner.sm_lanes as usize) < num_sms {
+                let n = inner.sm_lanes;
+                inner.events.push(ChromeEvent::thread_name(
+                    SM_TID_BASE + n as u64,
+                    &format!("SM {n}"),
+                ));
+                inner.sm_lanes += 1;
+            }
+            inner.now
+        };
+        LaunchTimeline {
+            session: session.clone(),
+            kernel: kernel.to_string(),
+            t0,
+            wave_start: t0,
+            num_sms,
+            wave_blocks: Vec::new(),
+            block_seq: 0,
+            wave_seq: 0,
+            events: Vec::new(),
+            warp_hist: Histogram::new(),
+            sm_cursor: vec![0.0; num_sms],
+        }
+    }
+
+    /// Records one warp's modelled cycles (feeds the cycle histogram).
+    pub fn record_warp(&mut self, cycles: f64) {
+        self.warp_hist.observe(cycles);
+    }
+
+    /// Records one block of the current wave: the SM it ran on, its
+    /// critical-path cycles and its warp count.
+    pub fn record_block(&mut self, sm: usize, cycles: f64, warps: u64) {
+        self.wave_blocks.push((sm, cycles, warps));
+    }
+
+    /// Closes the current wave. `wave_time` is the wave's modelled
+    /// duration; the sector/byte arguments are this wave's deltas and feed
+    /// the counter tracks.
+    pub fn end_wave(
+        &mut self,
+        wave_time: f64,
+        l2_hit_sectors: u64,
+        dram_sectors: u64,
+        dram_bytes: u64,
+    ) {
+        // Wave slice on the harness lane, nested under the launch slice.
+        self.events.push(ChromeEvent {
+            name: format!("wave {}", self.wave_seq),
+            ph: Phase::Complete,
+            ts: self.wave_start,
+            dur: Some(wave_time),
+            tid: HARNESS_TID,
+            args: vec![(
+                "blocks".to_string(),
+                serde_json::json!(self.wave_blocks.len()),
+            )],
+        });
+
+        // Blocks stack sequentially on their SM lane. An SM's aggregate
+        // block time can exceed the wave's modelled duration (the SMT
+        // pipeline overlaps resident blocks), so placements are compressed
+        // to fit the wave window; true cycles stay in the args.
+        self.sm_cursor.fill(0.0);
+        let mut sm_total = vec![0.0f64; self.num_sms];
+        for &(sm, cycles, _) in &self.wave_blocks {
+            sm_total[sm] += cycles;
+        }
+        for &(sm, cycles, warps) in &self.wave_blocks {
+            let scale = if sm_total[sm] > wave_time && sm_total[sm] > 0.0 {
+                wave_time / sm_total[sm]
+            } else {
+                1.0
+            };
+            let ts = self.wave_start + self.sm_cursor[sm];
+            self.sm_cursor[sm] += cycles * scale;
+            self.events.push(ChromeEvent {
+                name: format!("block {}", self.block_seq),
+                ph: Phase::Complete,
+                ts,
+                dur: Some(cycles * scale),
+                tid: SM_TID_BASE + sm as u64,
+                args: vec![
+                    ("warps".to_string(), serde_json::json!(warps)),
+                    ("cycles".to_string(), serde_json::json!(cycles)),
+                ],
+            });
+            self.block_seq += 1;
+        }
+
+        // Counter tracks sampled once per wave.
+        let traffic = l2_hit_sectors + dram_sectors;
+        let hit_pct = if traffic == 0 {
+            0.0
+        } else {
+            l2_hit_sectors as f64 / traffic as f64 * 100.0
+        };
+        let bpc = if wave_time > 0.0 {
+            dram_bytes as f64 / wave_time
+        } else {
+            0.0
+        };
+        for (name, key, value) in [
+            ("L2 hit rate", "pct", hit_pct),
+            ("DRAM bytes/cycle", "b/cyc", bpc),
+        ] {
+            self.events.push(ChromeEvent {
+                name: name.to_string(),
+                ph: Phase::Counter,
+                ts: self.wave_start,
+                dur: None,
+                tid: HARNESS_TID,
+                args: vec![(key.to_string(), serde_json::json!(value))],
+            });
+        }
+
+        self.wave_start += wave_time;
+        self.wave_seq += 1;
+        self.wave_blocks.clear();
+    }
+
+    /// Flushes the launch into the session: a complete slice spanning the
+    /// reported `cycles` on the harness lane, all buffered wave/block/
+    /// counter events, the warp-cycle histogram into the metrics registry,
+    /// and the clock advanced past the launch.
+    pub fn finish(self, cycles: f64) {
+        let metrics = self.session.metrics.clone();
+        metrics.merge_histogram(
+            &names::launch_metric(&self.kernel, names::WARP_CYCLES_HIST),
+            &self.warp_hist,
+        );
+        let mut inner = self.session.lock();
+        inner.events.push(ChromeEvent {
+            name: self.kernel.clone(),
+            ph: Phase::Complete,
+            ts: self.t0,
+            dur: Some(cycles),
+            tid: HARNESS_TID,
+            args: vec![("waves".to_string(), serde_json::json!(self.wave_seq))],
+        });
+        inner.events.extend(self.events);
+        inner.now = inner.now.max(self.t0 + cycles + 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_advance_the_clock() {
+        let s = TraceSession::new();
+        assert_eq!(s.now(), 0.0);
+        {
+            let _outer = s.span("outer");
+            assert_eq!(s.now(), 1.0);
+            let _inner = s.span_with("inner", &[("k", serde_json::json!(3u64))]);
+            assert_eq!(s.now(), 2.0);
+        }
+        assert_eq!(s.now(), 4.0); // two end edges
+        let doc = serde_json::from_str(&s.to_chrome_json()).unwrap();
+        let phases: Vec<String> = doc["traceEvents"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .skip(2) // process_name + harness thread_name metadata
+            .map(|e| e["ph"].as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(phases, ["B", "B", "E", "E"]);
+    }
+
+    #[test]
+    fn noop_guard_touches_nothing() {
+        let _g = SpanGuard::noop();
+    }
+
+    #[test]
+    fn timeline_places_blocks_and_advances_past_launch() {
+        let s = TraceSession::new();
+        let mut tl = LaunchTimeline::begin(&s, "demo", 2);
+        tl.record_warp(50.0);
+        tl.record_warp(100.0);
+        tl.record_block(0, 100.0, 2);
+        tl.record_block(1, 40.0, 2);
+        tl.end_wave(100.0, 30, 10, 320);
+        tl.finish(100.0);
+        assert_eq!(s.now(), 101.0);
+        let doc = serde_json::from_str(&s.to_chrome_json()).unwrap();
+        let events = doc["traceEvents"].as_array().unwrap();
+        // 2 session metadata + 2 SM lanes + launch X + wave X + 2 blocks
+        // + 2 counters.
+        assert_eq!(events.len(), 10);
+        let launch = events
+            .iter()
+            .find(|e| e["name"].as_str() == Some("demo"))
+            .unwrap();
+        assert_eq!(launch["dur"].as_u64(), Some(100));
+        // Histogram landed in the registry.
+        match s
+            .metrics()
+            .get("launch.demo.smsp__warp_cycles")
+            .expect("warp histogram")
+        {
+            crate::metrics::Metric::Histogram(h) => {
+                assert_eq!(h.count(), 2);
+                assert_eq!(h.max(), 100.0);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sm_lanes_are_named_once_across_launches() {
+        let s = TraceSession::new();
+        LaunchTimeline::begin(&s, "a", 4).finish(10.0);
+        LaunchTimeline::begin(&s, "b", 4).finish(10.0);
+        let doc = serde_json::from_str(&s.to_chrome_json()).unwrap();
+        let lanes = doc["traceEvents"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| {
+                e["ph"].as_str() == Some("M")
+                    && e["args"]["name"]
+                        .as_str()
+                        .is_some_and(|n| n.starts_with("SM "))
+            })
+            .count();
+        assert_eq!(lanes, 4);
+    }
+
+    #[test]
+    fn identical_recordings_export_identical_bytes() {
+        let run = || {
+            let s = TraceSession::new();
+            let _e = s.span("experiment");
+            let mut tl = LaunchTimeline::begin(&s, "k", 3);
+            for w in 0..6 {
+                tl.record_warp(10.0 * (w + 1) as f64);
+            }
+            tl.record_block(0, 60.0, 6);
+            tl.end_wave(60.0, 5, 5, 160);
+            tl.finish(75.0);
+            drop(_e);
+            s.to_chrome_json()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -503,13 +503,34 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 character.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| Error::new("invalid utf-8"))?;
-                    let c = rest.chars().next().unwrap();
+                // ASCII fast path: validating from_utf8 over the whole
+                // remaining buffer per character would make string parsing
+                // quadratic in document size (minutes on a multi-megabyte
+                // trace export).
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Consume one multi-byte UTF-8 character: validate only
+                    // the bytes the leading byte claims.
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(Error::new("invalid utf-8")),
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .ok_or_else(|| Error::new("invalid utf-8"))?;
+                    let c = std::str::from_utf8(chunk)
+                        .map_err(|_| Error::new("invalid utf-8"))?
+                        .chars()
+                        .next()
+                        .unwrap();
                     out.push(c);
-                    self.pos += c.len_utf8();
+                    self.pos += len;
                 }
             }
         }
