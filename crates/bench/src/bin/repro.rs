@@ -26,8 +26,10 @@
 //!   formats  §II storage-format comparison
 //!   profile  Nsight-style kernel profiles on Flickr
 //!   datasets Table II stand-in verification
-//!   all      everything above
+//!   serve    multi-GPU sharded inference serving; writes BENCH_serve.json
+//!   all      everything above (except serve)
 //!   selftime wall-clock self-benchmark of the harness; writes BENCH_repro.json
+//!   list     print the experiment catalog and exit
 //! ```
 //!
 //! Experiment output on stdout is byte-identical at any `RAYON_NUM_THREADS`
@@ -47,7 +49,7 @@
 //! absorb machine noise; the tracing-overhead budget of DESIGN.md is
 //! validated with a strict 0.01 at baseline-refresh time).
 
-use hpsparse_bench::experiments::{dispatch, selftime, Effort, ALL_EXPERIMENTS};
+use hpsparse_bench::experiments::{dispatch, selftime, Effort, ALL_EXPERIMENTS, CATALOG};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -95,6 +97,10 @@ fn main() {
     if wanted.is_empty() {
         usage("no experiment given");
     }
+    if wanted.iter().any(|w| w == "list") {
+        print!("{}", render_catalog());
+        std::process::exit(0);
+    }
     if wanted.iter().any(|w| w == "all") {
         wanted = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
@@ -121,8 +127,16 @@ fn main() {
             }
             out
         } else {
-            dispatch(name, effort).unwrap_or_else(|| usage(&format!("unknown experiment {name}")))
+            dispatch(name, effort).unwrap_or_else(|| unknown_experiment(name))
         };
+        if out.id == "serve" {
+            std::fs::write(
+                "BENCH_serve.json",
+                serde_json::to_string_pretty(&out.json).unwrap(),
+            )
+            .expect("write BENCH_serve.json");
+            eprintln!("[wrote BENCH_serve.json]");
+        }
         println!("{}", out.text);
         eprintln!(
             "[{name} finished in {:.1}s]\n",
@@ -189,6 +203,69 @@ fn check_selftime_baseline(fresh: &serde_json::Value, baseline_path: &str, toler
     }
 }
 
+/// The `repro list` output: every dispatchable experiment with its
+/// one-line summary, plus the meta-modes.
+fn render_catalog() -> String {
+    let width = CATALOG
+        .iter()
+        .map(|(n, _)| n.len())
+        .max()
+        .unwrap_or(0)
+        .max("selftime".len());
+    let mut out = String::from("experiments:\n");
+    for (name, summary) in CATALOG {
+        out.push_str(&format!("  {name:width$}  {summary}\n"));
+    }
+    out.push_str(&format!(
+        "  {:width$}  every experiment in ALL_EXPERIMENTS order\n",
+        "all"
+    ));
+    out.push_str(&format!(
+        "  {:width$}  wall-clock self-benchmark; writes BENCH_repro.json\n",
+        "selftime"
+    ));
+    out
+}
+
+/// Edit distance for the did-you-mean suggestion on unknown experiment
+/// names (classic dynamic program; inputs are short command words).
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}
+
+/// Rejects an unknown experiment name with the full catalog and, when one
+/// is close enough to be a likely typo, a "did you mean" suggestion.
+fn unknown_experiment(name: &str) -> ! {
+    eprintln!("error: unknown experiment `{name}`\n");
+    let candidates = CATALOG
+        .iter()
+        .map(|(n, _)| *n)
+        .chain(["all", "selftime", "list"]);
+    if let Some((best, dist)) = candidates
+        .map(|n| (n, levenshtein(name, n)))
+        .min_by_key(|&(n, d)| (d, n))
+    {
+        // A close miss is a typo; a far one is a wrong guess — either way
+        // show the nearest name, but only when it is plausibly intended.
+        if dist <= 1 + name.len() / 3 {
+            eprintln!("did you mean `{best}`?\n");
+        }
+    }
+    eprint!("{}", render_catalog());
+    std::process::exit(2);
+}
+
 fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}\n");
@@ -198,7 +275,8 @@ fn usage(err: &str) -> ! {
          \x20            [--selftime-baseline FILE] [--selftime-tolerance F] <experiment>...\n\
          experiments: fig9 fig9a30 fig10 table3 table4 tcgnn reorder fig11 \
          fig12 fig13 alpha futurework bell fused table5 autotune sanitize fastcheck formats \
-         profile datasets all selftime"
+         profile datasets serve all selftime\n\
+         run `repro list` for one-line summaries"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

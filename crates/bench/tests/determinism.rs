@@ -9,9 +9,13 @@
 use std::process::Command;
 
 fn repro_stdout(threads: &str, args: &[&str]) -> Vec<u8> {
+    // Run from a scratch directory: experiments that drop artefacts in the
+    // working directory (serve writes BENCH_serve.json) must not dirty the
+    // crate tree.
     let out = Command::new(env!("CARGO_BIN_EXE_repro"))
         .args(args)
         .env("RAYON_NUM_THREADS", threads)
+        .current_dir(std::env::temp_dir())
         .output()
         .expect("run repro");
     assert!(
@@ -48,4 +52,22 @@ fn quick_output_is_byte_identical_across_thread_counts() {
             .unwrap_or_else(|| "outputs differ in length only".to_string());
         panic!("repro output depends on the thread count; {diverge}");
     }
+}
+
+#[test]
+fn serve_output_is_byte_identical_across_thread_counts() {
+    // serve covers the sharded-serving stack: the rayon-parallel per-shard
+    // batcher, the Louvain shard planner, and the multi-device schedule —
+    // none of which may leak the thread count into reported numbers.
+    let args = ["--quick", "serve"];
+    let one = repro_stdout("1", &args);
+    let four = repro_stdout("4", &args);
+    assert!(!one.is_empty(), "serve printed nothing");
+    assert_eq!(
+        one,
+        four,
+        "serve output depends on the thread count:\n--- 1 thread ---\n{}\n--- 4 threads ---\n{}",
+        String::from_utf8_lossy(&one),
+        String::from_utf8_lossy(&four)
+    );
 }

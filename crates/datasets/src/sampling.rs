@@ -15,8 +15,19 @@ use rand::{Rng, SeedableRng};
 
 /// A subgraph sampler in the GraphSAINT family.
 pub trait Sampler {
-    /// Draws one subgraph from `parent` using `rng`.
-    fn sample(&self, parent: &Graph, rng: &mut StdRng) -> Graph;
+    /// Draws one node set from `parent` using `rng`, in **parent node
+    /// ids** and visit order (duplicates possible for edge/walk
+    /// samplers). This is the primitive: training induces a subgraph on
+    /// it, while the serving layer uses the original ids directly as a
+    /// request's target set.
+    fn sample_nodes(&self, parent: &Graph, rng: &mut StdRng) -> Vec<u32>;
+
+    /// Draws one subgraph from `parent` using `rng` (the induced subgraph
+    /// on [`Self::sample_nodes`], relabelled to compact ids).
+    fn sample(&self, parent: &Graph, rng: &mut StdRng) -> Graph {
+        parent.induced_subgraph(&self.sample_nodes(parent, rng))
+    }
+
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
 }
@@ -29,12 +40,12 @@ pub struct NodeSampler {
 }
 
 impl Sampler for NodeSampler {
-    fn sample(&self, parent: &Graph, rng: &mut StdRng) -> Graph {
+    fn sample_nodes(&self, parent: &Graph, rng: &mut StdRng) -> Vec<u32> {
         let n = parent.num_nodes();
         let mut nodes: Vec<u32> = (0..n as u32).collect();
         nodes.shuffle(rng);
         nodes.truncate(self.budget.min(n));
-        parent.induced_subgraph(&nodes)
+        nodes
     }
 
     fn name(&self) -> &'static str {
@@ -50,7 +61,7 @@ pub struct EdgeSampler {
 }
 
 impl Sampler for EdgeSampler {
-    fn sample(&self, parent: &Graph, rng: &mut StdRng) -> Graph {
+    fn sample_nodes(&self, parent: &Graph, rng: &mut StdRng) -> Vec<u32> {
         let adj = parent.adjacency();
         let nnz = adj.nnz();
         let mut nodes = Vec::with_capacity(self.budget * 2);
@@ -64,7 +75,7 @@ impl Sampler for EdgeSampler {
             nodes.push(row_of(e));
             nodes.push(adj.col_indices()[e]);
         }
-        parent.induced_subgraph(&nodes)
+        nodes
     }
 
     fn name(&self) -> &'static str {
@@ -83,7 +94,7 @@ pub struct RandomWalkSampler {
 }
 
 impl Sampler for RandomWalkSampler {
-    fn sample(&self, parent: &Graph, rng: &mut StdRng) -> Graph {
+    fn sample_nodes(&self, parent: &Graph, rng: &mut StdRng) -> Vec<u32> {
         let n = parent.num_nodes();
         let mut nodes = Vec::with_capacity(self.roots * (self.depth + 1));
         for _ in 0..self.roots {
@@ -98,7 +109,7 @@ impl Sampler for RandomWalkSampler {
                 nodes.push(v);
             }
         }
-        parent.induced_subgraph(&nodes)
+        nodes
     }
 
     fn name(&self) -> &'static str {
@@ -224,6 +235,27 @@ mod tests {
         .sample(&p, &mut rng);
         assert!(g.num_nodes() <= 400);
         assert!(g.num_edges() > 0);
+    }
+
+    #[test]
+    fn sample_nodes_carries_parent_ids_consistent_with_sample() {
+        let p = parent();
+        for sampler in [
+            Box::new(NodeSampler { budget: 400 }) as Box<dyn Sampler>,
+            Box::new(EdgeSampler { budget: 200 }),
+            Box::new(RandomWalkSampler {
+                roots: 64,
+                depth: 3,
+            }),
+        ] {
+            let nodes = sampler.sample_nodes(&p, &mut StdRng::seed_from_u64(11));
+            assert!(!nodes.is_empty());
+            assert!(nodes.iter().all(|&v| (v as usize) < p.num_nodes()));
+            // The provided sample() is exactly the induced subgraph on the
+            // same draw.
+            let g = sampler.sample(&p, &mut StdRng::seed_from_u64(11));
+            assert_eq!(g.adjacency(), p.induced_subgraph(&nodes).adjacency());
+        }
     }
 
     #[test]

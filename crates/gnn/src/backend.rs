@@ -64,6 +64,12 @@ pub trait SparseBackend {
     fn dense_cycles(&self) -> u64;
     /// The simulated device.
     fn device(&self) -> &DeviceSpec;
+    /// Mutable access to the backing simulator, for attaching observers
+    /// (sanitizer sinks, trace sessions, a cluster device index). `None`
+    /// for backends with no simulator (CPU).
+    fn sim_mut(&mut self) -> Option<&mut GpuSim> {
+        None
+    }
     /// Total modelled time in milliseconds.
     fn total_ms(&self) -> f64 {
         self.device()
@@ -130,6 +136,10 @@ impl SparseBackend for HpBackend {
         self.sim.device()
     }
 
+    fn sim_mut(&mut self) -> Option<&mut GpuSim> {
+        Some(&mut self.sim)
+    }
+
     fn reset_counters(&mut self) {
         self.sparse_cycles = 0;
         self.dense_cycles = 0;
@@ -190,6 +200,10 @@ impl SparseBackend for BaselineBackend {
 
     fn device(&self) -> &DeviceSpec {
         self.sim.device()
+    }
+
+    fn sim_mut(&mut self) -> Option<&mut GpuSim> {
+        Some(&mut self.sim)
     }
 
     fn reset_counters(&mut self) {
@@ -320,6 +334,10 @@ impl SparseBackend for AutoBackend {
 
     fn device(&self) -> &DeviceSpec {
         self.sim.device()
+    }
+
+    fn sim_mut(&mut self) -> Option<&mut GpuSim> {
+        Some(&mut self.sim)
     }
 
     fn reset_counters(&mut self) {
@@ -480,6 +498,16 @@ mod tests {
         hp.reset_counters();
         assert_eq!(hp.sparse_cycles(), 0);
         assert_eq!(hp.dense_cycles(), 0);
+    }
+
+    #[test]
+    fn sim_mut_exposes_the_simulator_where_one_exists() {
+        let mut auto = AutoBackend::new(DeviceSpec::v100());
+        auto.sim_mut().expect("auto has a sim").set_device_index(2);
+        assert_eq!(auto.sim_mut().unwrap().device_index(), Some(2));
+        assert!(HpBackend::new(DeviceSpec::v100()).sim_mut().is_some());
+        assert!(BaselineBackend::new(DeviceSpec::v100()).sim_mut().is_some());
+        assert!(CpuBackend::new().sim_mut().is_none());
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub mod gcr;
 pub mod locality;
 pub mod louvain;
 pub mod lsh;
+pub mod partition;
 
 pub use advisor::advisor_reorder;
 pub use classic::{degree_sort_reorder, rcm_reorder};
@@ -28,3 +29,4 @@ pub use gcr::{gcr_permutation, gcr_reorder, Reordered};
 pub use locality::{avg_neighbor_distance, working_set_spread};
 pub use louvain::{louvain, LouvainConfig, LouvainResult};
 pub use lsh::lsh_pair_merge_reorder;
+pub use partition::{partition, GraphPartition, PartitionConfig, PartitionMethod};

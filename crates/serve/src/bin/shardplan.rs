@@ -1,0 +1,31 @@
+//! Prints the canonical encoding of a shard plan for a registry dataset.
+//!
+//! Exists for the cross-process determinism tests: two invocations (under
+//! different `RAYON_NUM_THREADS`) must print byte-identical plans.
+//!
+//! Usage: `shardplan <dataset> <num_shards> [max_edges]`
+
+use hpsparse_serve::ShardPlan;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 {
+        eprintln!("usage: shardplan <dataset> <num_shards> [max_edges]");
+        std::process::exit(2);
+    }
+    let spec = match hpsparse_datasets::registry::by_name(&args[1]) {
+        Some(s) => s,
+        None => {
+            eprintln!("unknown dataset: {}", args[1]);
+            std::process::exit(2);
+        }
+    };
+    let num_shards: usize = args[2].parse().expect("num_shards");
+    let max_edges: usize = args
+        .get(3)
+        .map(|a| a.parse().expect("max_edges"))
+        .unwrap_or(50_000);
+    let g = hpsparse_datasets::store::graph(&spec, max_edges);
+    let plan = ShardPlan::new(&g, num_shards);
+    print!("{}", plan.canonical_encoding());
+}

@@ -1,0 +1,133 @@
+//! The shard planner's determinism contract: byte-identical plans across
+//! processes and thread counts, and edge-exact coverage on arbitrary
+//! graphs.
+//!
+//! Partition placement feeds multi-device serving, where any instability
+//! would silently break the lossless guarantee (outputs are only
+//! comparable if both runs agree on who owns which node). So the bar is
+//! byte identity of the *complete* plan encoding — assignments, local
+//! ids, per-shard CSR arrays, value bits, and halo maps.
+
+use hpsparse_datasets::generators::{GeneratorConfig, Topology};
+use hpsparse_serve::ShardPlan;
+use proptest::prelude::*;
+use std::process::Command;
+
+fn shardplan_stdout(threads: &str, dataset: &str, shards: &str) -> Vec<u8> {
+    let out = Command::new(env!("CARGO_BIN_EXE_shardplan"))
+        .args([dataset, shards])
+        .env("RAYON_NUM_THREADS", threads)
+        .output()
+        .expect("run shardplan");
+    assert!(
+        out.status.success(),
+        "shardplan {dataset} {shards} with {threads} threads failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+#[test]
+fn shard_assignment_is_byte_identical_across_processes_and_threads() {
+    // Two fresh processes at different thread counts: the whole plan —
+    // assignment, halo maps, value bits — must agree byte for byte.
+    let one = shardplan_stdout("1", "Flickr", "4");
+    let four = shardplan_stdout("4", "Flickr", "4");
+    assert!(
+        one.starts_with(b"shards=4"),
+        "unexpected encoding header:\n{}",
+        String::from_utf8_lossy(&one[..one.len().min(200)])
+    );
+    if one != four {
+        let a = String::from_utf8_lossy(&one);
+        let b = String::from_utf8_lossy(&four);
+        let diverge = a
+            .lines()
+            .zip(b.lines())
+            .position(|(x, y)| x != y)
+            .map(|i| format!("first divergent line: {i}"))
+            .unwrap_or_else(|| "outputs differ in length".into());
+        panic!("shard plan depends on thread count ({diverge})");
+    }
+}
+
+#[test]
+fn in_process_plan_matches_the_subprocess_plan() {
+    // The binary and the library must describe the same plan: guards
+    // against the bin drifting from the library (different defaults).
+    let spec = hpsparse_datasets::registry::by_name("Flickr").expect("Flickr registered");
+    let g = hpsparse_datasets::store::graph(&spec, 50_000);
+    let local = ShardPlan::new(&g, 4).canonical_encoding();
+    let sub = shardplan_stdout("2", "Flickr", "4");
+    assert_eq!(local.as_bytes(), &sub[..], "bin and library plans diverge");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every edge of every generated graph lands in exactly one shard row,
+    /// with remote columns correctly attributed through the halo map.
+    #[test]
+    fn every_edge_lands_in_exactly_one_shard_or_halo(
+        nodes in 2usize..160,
+        edge_factor in 1usize..8,
+        shards in 1usize..6,
+        seed in 0u64..1000,
+        communities in 2usize..8,
+    ) {
+        let g = GeneratorConfig {
+            nodes,
+            edges: nodes * edge_factor,
+            topology: Topology::Community {
+                communities: communities.min(nodes),
+                p_in: 0.8,
+                alpha: 2.0,
+            },
+            seed,
+        }
+        .generate();
+        let plan = ShardPlan::new(&g, shards);
+
+        // Each node owned exactly once, with a consistent local id.
+        let mut seen = vec![false; g.num_nodes()];
+        for s in &plan.shards {
+            for (r, &v) in s.owned.iter().enumerate() {
+                prop_assert!(!seen[v as usize], "node {v} owned twice");
+                seen[v as usize] = true;
+                prop_assert_eq!(plan.assignment[v as usize], s.index);
+                prop_assert_eq!(plan.local_id[v as usize] as usize, r);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "some node unowned");
+
+        // The multiset of (dst, src, value-bits) triples reconstructed
+        // from shard rows + halo maps equals the global CSR's, exactly.
+        let mut rebuilt: Vec<(u32, u32, u32)> = Vec::new();
+        for s in &plan.shards {
+            for r in 0..s.num_owned() {
+                for e in s.row_range(r) {
+                    let col = s.cols[e];
+                    let global = s.col_global(col);
+                    if col as usize >= s.num_owned() {
+                        // A halo column must reference a node some *other*
+                        // shard owns.
+                        let h = s.halo[col as usize - s.num_owned()];
+                        prop_assert!(h.owner != s.index, "halo slot owned locally");
+                        prop_assert_eq!(plan.assignment[global as usize], h.owner);
+                    } else {
+                        prop_assert_eq!(plan.assignment[global as usize], s.index);
+                    }
+                    rebuilt.push((s.owned[r], global, s.vals[e].to_bits()));
+                }
+            }
+        }
+        rebuilt.sort_unstable();
+        let mut original: Vec<(u32, u32, u32)> = g
+            .adjacency()
+            .iter()
+            .map(|(r, c, v)| (r, c, v.to_bits()))
+            .collect();
+        original.sort_unstable();
+        prop_assert_eq!(rebuilt, original);
+    }
+}

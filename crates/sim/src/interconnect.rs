@@ -1,0 +1,234 @@
+//! Device-to-device interconnect cost model.
+//!
+//! The single-device model prices every byte a kernel touches through DRAM
+//! transfer descriptors ([`crate::tally`]); once a graph is sharded across
+//! several simulated GPUs, cross-shard ("halo") feature rows move over the
+//! *interconnect* instead, and that traffic needs the same treatment. A
+//! [`LinkSpec`] is the inter-device analogue of
+//! [`DeviceSpec::dram_bytes_per_cycle`](crate::DeviceSpec): a fixed
+//! per-message latency plus a bandwidth term, both expressed in SM cycles
+//! so transfer time composes directly with kernel launch reports.
+//!
+//! A [`TransferDescriptor`] describes one halo exchange (who sends, who
+//! receives, how many bytes); [`LinkTimeline`] serialises the transfers
+//! that contend for the same destination link, which is what makes halo
+//! *stalls* — a device idle because its inputs are still in flight —
+//! visible in the serving schedule and the Perfetto export.
+
+/// Interconnect generation: determines latency and bandwidth defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkKind {
+    /// NVLink 2.0-class point-to-point link (V100 SXM baseline).
+    NvLink,
+    /// PCIe 3.0 x16-class host-mediated link.
+    Pcie,
+}
+
+/// Cost model of one directed device-to-device link.
+///
+/// Cycle figures are at the SM clock of the *receiving* device, matching
+/// how [`LaunchReport`](crate::LaunchReport) counts kernel time, so a
+/// transfer and a launch can be placed on one timeline without unit
+/// conversion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Marketing name, used in reports.
+    pub name: &'static str,
+    /// Fixed per-transfer latency in SM cycles (software stack + wire).
+    pub latency_cycles: u64,
+    /// Sustained bandwidth in bytes per SM cycle.
+    pub bytes_per_cycle: f64,
+}
+
+impl LinkSpec {
+    /// NVLink 2.0: ~25 GB/s per direction per link sustained, ~10 µs
+    /// effective transfer setup (driver + sync) at a 1.38 GHz SM clock.
+    pub fn nvlink() -> Self {
+        Self {
+            name: "NVLink",
+            latency_cycles: 14_000,
+            bytes_per_cycle: 25.0e9 / 1.38e9,
+        }
+    }
+
+    /// PCIe 3.0 x16: ~12 GB/s sustained, with a heavier host-mediated
+    /// setup cost.
+    pub fn pcie() -> Self {
+        Self {
+            name: "PCIe",
+            latency_cycles: 28_000,
+            bytes_per_cycle: 12.0e9 / 1.38e9,
+        }
+    }
+
+    /// A preset by kind.
+    pub fn of(kind: LinkKind) -> Self {
+        match kind {
+            LinkKind::NvLink => Self::nvlink(),
+            LinkKind::Pcie => Self::pcie(),
+        }
+    }
+
+    /// Cycles one transfer of `bytes` occupies the link: latency plus the
+    /// bandwidth term. Zero-byte transfers are free (no message is sent).
+    pub fn transfer_cycles(&self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        self.latency_cycles + (bytes as f64 / self.bytes_per_cycle).ceil() as u64
+    }
+}
+
+/// One halo exchange: `bytes` moving from `src_device` to `dst_device`.
+///
+/// The descriptor is pure data — pricing comes from a [`LinkSpec`] and
+/// scheduling from a [`LinkTimeline`] — so schedulers, traces and tests
+/// can all reason about the same record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferDescriptor {
+    /// Sending device index.
+    pub src_device: u32,
+    /// Receiving device index.
+    pub dst_device: u32,
+    /// Payload size in bytes.
+    pub bytes: u64,
+}
+
+impl TransferDescriptor {
+    /// Cycles this transfer occupies `link`.
+    pub fn cycles(&self, link: &LinkSpec) -> u64 {
+        link.transfer_cycles(self.bytes)
+    }
+}
+
+/// Busy-until tracking for the per-device ingress links.
+///
+/// The model gives every device one ingress queue (gather-style halo
+/// exchange: many owners send to the device about to compute): transfers
+/// to the same destination serialise, transfers to different destinations
+/// proceed concurrently. That is deliberately simpler than a full
+/// point-to-point fabric and errs toward *more* contention, the
+/// conservative direction for serving-latency claims.
+#[derive(Debug, Clone)]
+pub struct LinkTimeline {
+    link: LinkSpec,
+    busy_until: Vec<u64>,
+    total_bytes: u64,
+    total_transfers: u64,
+}
+
+impl LinkTimeline {
+    /// A timeline for `num_devices` ingress links, all idle at cycle 0.
+    pub fn new(link: LinkSpec, num_devices: usize) -> Self {
+        Self {
+            link,
+            busy_until: vec![0; num_devices],
+            total_bytes: 0,
+            total_transfers: 0,
+        }
+    }
+
+    /// The link spec being modelled.
+    pub fn link(&self) -> &LinkSpec {
+        &self.link
+    }
+
+    /// Schedules `transfer` no earlier than `ready_cycle`; returns the
+    /// `(start, end)` cycles it occupies the destination's ingress link.
+    /// Zero-byte transfers complete instantly at `ready_cycle`.
+    pub fn schedule(&mut self, transfer: &TransferDescriptor, ready_cycle: u64) -> (u64, u64) {
+        let cycles = transfer.cycles(&self.link);
+        if cycles == 0 {
+            return (ready_cycle, ready_cycle);
+        }
+        let lane = &mut self.busy_until[transfer.dst_device as usize];
+        let start = ready_cycle.max(*lane);
+        let end = start + cycles;
+        *lane = end;
+        self.total_bytes += transfer.bytes;
+        self.total_transfers += 1;
+        (start, end)
+    }
+
+    /// Total bytes moved so far.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Total non-empty transfers scheduled so far.
+    pub fn total_transfers(&self) -> u64 {
+        self.total_transfers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_sane_ratios() {
+        let nv = LinkSpec::nvlink();
+        let pcie = LinkSpec::pcie();
+        assert!(nv.bytes_per_cycle > pcie.bytes_per_cycle);
+        assert!(nv.latency_cycles < pcie.latency_cycles);
+        assert_eq!(LinkSpec::of(LinkKind::NvLink), nv);
+        assert_eq!(LinkSpec::of(LinkKind::Pcie), pcie);
+    }
+
+    #[test]
+    fn transfer_cost_is_latency_plus_bandwidth() {
+        let link = LinkSpec {
+            name: "test",
+            latency_cycles: 100,
+            bytes_per_cycle: 10.0,
+        };
+        assert_eq!(link.transfer_cycles(0), 0);
+        assert_eq!(link.transfer_cycles(1), 101);
+        assert_eq!(link.transfer_cycles(1000), 200);
+        // Latency dominates small messages: batching pays.
+        let one_big = link.transfer_cycles(4000);
+        let four_small: u64 = (0..4).map(|_| link.transfer_cycles(1000)).sum();
+        assert!(one_big < four_small);
+    }
+
+    #[test]
+    fn same_destination_serialises_different_destinations_overlap() {
+        let link = LinkSpec {
+            name: "test",
+            latency_cycles: 10,
+            bytes_per_cycle: 1.0,
+        };
+        let mut tl = LinkTimeline::new(link, 2);
+        let to0 = TransferDescriptor {
+            src_device: 1,
+            dst_device: 0,
+            bytes: 90,
+        };
+        let to1 = TransferDescriptor {
+            src_device: 0,
+            dst_device: 1,
+            bytes: 90,
+        };
+        let (s_a, e_a) = tl.schedule(&to0, 0);
+        let (s_b, e_b) = tl.schedule(&to0, 0); // contends with a
+        let (s_c, _) = tl.schedule(&to1, 0); // different ingress link
+        assert_eq!((s_a, e_a), (0, 100));
+        assert_eq!((s_b, e_b), (100, 200));
+        assert_eq!(s_c, 0);
+        assert_eq!(tl.total_bytes(), 270);
+        assert_eq!(tl.total_transfers(), 3);
+    }
+
+    #[test]
+    fn zero_byte_transfer_holds_no_link_time() {
+        let mut tl = LinkTimeline::new(LinkSpec::nvlink(), 1);
+        let t = TransferDescriptor {
+            src_device: 0,
+            dst_device: 0,
+            bytes: 0,
+        };
+        let (s, e) = tl.schedule(&t, 42);
+        assert_eq!((s, e), (42, 42));
+        assert_eq!(tl.total_transfers(), 0);
+    }
+}

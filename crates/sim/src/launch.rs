@@ -221,6 +221,10 @@ pub struct GpuSim {
     /// `Option`-test discipline as `sink`: detached costs one branch per
     /// launch plus one per warp/block, and never changes a reported number.
     tracer: Option<TraceSession>,
+    /// Position in a multi-device cluster. `Some(d)` routes traced
+    /// launches into device `d`'s Perfetto lane group; `None` (the
+    /// default) keeps the single-device layout. Never affects costs.
+    device_index: Option<u32>,
 }
 
 impl GpuSim {
@@ -235,6 +239,7 @@ impl GpuSim {
             decls: Vec::new(),
             reference_engine: false,
             tracer: None,
+            device_index: None,
         }
     }
 
@@ -293,6 +298,19 @@ impl GpuSim {
     /// Is a trace session currently attached?
     pub fn tracer_attached(&self) -> bool {
         self.tracer.is_some()
+    }
+
+    /// Declares this simulator to be device `device` of a multi-device
+    /// cluster: traced launches render inside that device's lane group
+    /// (`GPU d` in Perfetto) instead of the host group. Purely a tracing
+    /// concern — reported cycles and numerics are unchanged.
+    pub fn set_device_index(&mut self, device: u32) {
+        self.device_index = Some(device);
+    }
+
+    /// The cluster position set by [`Self::set_device_index`], if any.
+    pub fn device_index(&self) -> Option<u32> {
+        self.device_index
     }
 
     /// Allocates logical device memory (256-byte aligned).
@@ -395,7 +413,7 @@ impl GpuSim {
         let mut timeline = self
             .tracer
             .as_ref()
-            .map(|t| LaunchTimeline::begin(t, name, num_sms));
+            .map(|t| LaunchTimeline::begin_on(t, name, num_sms, self.device_index));
 
         // One tally and one set of per-SM accumulators serve the whole
         // launch; per-warp/per-wave state is reset in place. This keeps the

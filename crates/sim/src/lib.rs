@@ -29,6 +29,7 @@
 
 pub mod cache;
 pub mod device;
+pub mod interconnect;
 pub mod launch;
 pub mod memory;
 pub mod occupancy;
@@ -38,6 +39,7 @@ pub mod tally;
 
 pub use cache::SectorCache;
 pub use device::{CostModel, DeviceSpec};
+pub use interconnect::{LinkKind, LinkSpec, LinkTimeline, TransferDescriptor};
 pub use launch::{GpuSim, LaunchConfig, LaunchReport};
 pub use memory::{Buffer, MemorySpace, SECTOR_BYTES};
 pub use occupancy::{occupancy_of, tail_stretch, KernelResources, Occupancy};

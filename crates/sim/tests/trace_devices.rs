@@ -1,0 +1,159 @@
+//! Multi-device trace export: launches from per-device `GpuSim` instances
+//! land in per-device Perfetto lane groups, halo-transfer slices and the
+//! `interconnect.bytes` counter render on the device's interconnect lane,
+//! and the whole export stays byte-deterministic (golden snapshot).
+
+use hpsparse_sim::{
+    DeviceSpec, GpuSim, KernelResources, LaunchConfig, LinkSpec, LinkTimeline, TransferDescriptor,
+};
+use hpsparse_trace::{names, TraceSession, DEVICE_COMPUTE_TID, DEVICE_LINK_TID, DEVICE_PID_BASE};
+
+fn res() -> KernelResources {
+    KernelResources {
+        warps_per_block: 8,
+        registers_per_thread: 32,
+        shared_mem_per_block: 4096,
+    }
+}
+
+/// Two devices each running one launch, plus a halo transfer scheduled on
+/// the interconnect and drawn on device 1's link lane.
+fn sharded_run() -> TraceSession {
+    let session = TraceSession::new();
+    let mut links = LinkTimeline::new(LinkSpec::nvlink(), 2);
+    let mut total_bytes = 0u64;
+    for device in 0u32..2 {
+        let mut sim = GpuSim::new(DeviceSpec::v100());
+        sim.set_device_index(device);
+        assert_eq!(sim.device_index(), Some(device));
+        sim.attach_tracer(session.clone());
+        sim.launch_named(
+            "shard-spmm",
+            LaunchConfig {
+                num_warps: 256 + device as u64 * 64,
+                resources: res(),
+            },
+            |w, t| {
+                t.compute(100 + (w % 5) * 20);
+                t.global_read(w * 128, 128, 4);
+            },
+        );
+    }
+    // One halo exchange: device 0 ships 4 KiB of feature rows to device 1.
+    let transfer = TransferDescriptor {
+        src_device: 0,
+        dst_device: 1,
+        bytes: 4096,
+    };
+    let (start, end) = links.schedule(&transfer, 0);
+    total_bytes += transfer.bytes;
+    session.device_slice(
+        transfer.dst_device,
+        DEVICE_LINK_TID,
+        "halo 0\u{2192}1",
+        start as f64,
+        (end - start) as f64,
+        &[("bytes", serde_json::json!(transfer.bytes))],
+    );
+    session.counter(
+        transfer.dst_device,
+        names::INTERCONNECT_BYTES,
+        "bytes",
+        end as f64,
+        total_bytes as f64,
+    );
+    session.advance_to(end as f64);
+    session
+}
+
+#[test]
+fn each_device_gets_its_own_lane_group() {
+    let session = sharded_run();
+    let doc = serde_json::from_str(&session.to_chrome_json()).expect("trace must parse");
+    let events = doc["traceEvents"].as_array().unwrap();
+    for d in 0u64..2 {
+        let pid = DEVICE_PID_BASE + d;
+        // Process title.
+        assert!(
+            events.iter().any(|e| {
+                e["ph"].as_str() == Some("M")
+                    && e["name"].as_str() == Some("process_name")
+                    && e["pid"].as_u64() == Some(pid)
+                    && e["args"]["name"].as_str() == Some(&format!("GPU {d}"))
+            }),
+            "missing process title for device {d}"
+        );
+        // A full set of SM lanes inside the group.
+        let sm_lanes = events
+            .iter()
+            .filter(|e| {
+                e["ph"].as_str() == Some("M")
+                    && e["pid"].as_u64() == Some(pid)
+                    && e["args"]["name"]
+                        .as_str()
+                        .is_some_and(|n| n.starts_with("SM "))
+            })
+            .count();
+        assert_eq!(sm_lanes as u32, DeviceSpec::v100().num_sms);
+        // The launch slice renders on the device's compute lane.
+        assert!(
+            events.iter().any(|e| {
+                e["name"].as_str() == Some("shard-spmm")
+                    && e["pid"].as_u64() == Some(pid)
+                    && e["tid"].as_u64() == Some(DEVICE_COMPUTE_TID)
+            }),
+            "missing launch slice for device {d}"
+        );
+    }
+}
+
+#[test]
+fn halo_transfer_renders_on_the_link_lane() {
+    let session = sharded_run();
+    let doc = serde_json::from_str(&session.to_chrome_json()).unwrap();
+    let events = doc["traceEvents"].as_array().unwrap();
+    let halo = events
+        .iter()
+        .find(|e| e["name"].as_str() == Some("halo 0\u{2192}1"))
+        .expect("halo slice");
+    assert_eq!(halo["pid"].as_u64(), Some(DEVICE_PID_BASE + 1));
+    assert_eq!(halo["tid"].as_u64(), Some(DEVICE_LINK_TID));
+    let dur = halo["dur"].as_u64().unwrap();
+    assert_eq!(dur, LinkSpec::nvlink().transfer_cycles(4096));
+    assert_eq!(halo["args"]["bytes"].as_u64(), Some(4096));
+    // The counter track samples the cumulative byte count.
+    let ctr = events
+        .iter()
+        .find(|e| e["ph"].as_str() == Some("C") && e["name"].as_str() == Some("interconnect.bytes"))
+        .expect("interconnect.bytes counter");
+    assert_eq!(ctr["args"]["bytes"].as_f64(), Some(4096.0));
+}
+
+#[test]
+fn device_index_changes_no_reported_numbers() {
+    let run = |indexed: bool| {
+        let mut sim = GpuSim::new(DeviceSpec::v100());
+        if indexed {
+            sim.set_device_index(3);
+        }
+        sim.launch_named(
+            "k",
+            LaunchConfig {
+                num_warps: 128,
+                resources: res(),
+            },
+            |w, t| {
+                t.compute(100 + w);
+                t.global_read(w * 64, 64, 4);
+            },
+        )
+    };
+    assert_eq!(run(true), run(false));
+}
+
+#[test]
+fn sharded_trace_is_byte_deterministic() {
+    let a = sharded_run();
+    let b = sharded_run();
+    assert_eq!(a.to_chrome_json(), b.to_chrome_json());
+}

@@ -11,12 +11,26 @@
 
 use serde_json::{json, Number, Value};
 
-/// The single synthetic process id every event uses.
+/// Process id of the host/harness lane group (single-device traces put
+/// everything here).
 pub const PID: u64 = 1;
+/// Simulated device `d` renders as its own lane *group* (a separate
+/// Perfetto process) with pid `DEVICE_PID_BASE + d`.
+pub const DEVICE_PID_BASE: u64 = 2;
 /// Lane for host-side structural spans (experiments, planning, launches).
 pub const HARNESS_TID: u64 = 0;
+/// Within a device group: lane for scheduler-level slices (batches,
+/// kernel launches placed by a serving scheduler).
+pub const DEVICE_COMPUTE_TID: u64 = 1;
+/// Within a device group: lane for interconnect (halo) transfer slices.
+pub const DEVICE_LINK_TID: u64 = 2;
 /// Simulated SM `n` renders on lane `SM_TID_BASE + n`.
 pub const SM_TID_BASE: u64 = 16;
+
+/// The pid of simulated device `d`'s lane group.
+pub fn device_pid(device: u32) -> u64 {
+    DEVICE_PID_BASE + device as u64
+}
 
 /// Trace-event phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,7 +73,9 @@ pub struct ChromeEvent {
     pub ts: f64,
     /// Duration in simulated cycles (`X` events only).
     pub dur: Option<f64>,
-    /// Lane within [`PID`].
+    /// Lane group: [`PID`] for the host, [`device_pid`] for a device.
+    pub pid: u64,
+    /// Lane within the group.
     pub tid: u64,
     /// Extra key/value payload (insertion order preserved).
     pub args: Vec<(String, Value)>,
@@ -69,12 +85,32 @@ impl ChromeEvent {
     /// A metadata event naming lane `tid` (Perfetto shows it as the track
     /// title).
     pub fn thread_name(tid: u64, name: &str) -> Self {
+        Self::thread_name_in(PID, tid, name)
+    }
+
+    /// [`Self::thread_name`] for a lane in an arbitrary group.
+    pub fn thread_name_in(pid: u64, tid: u64, name: &str) -> Self {
         ChromeEvent {
             name: "thread_name".to_string(),
             ph: Phase::Metadata,
             ts: 0.0,
             dur: None,
+            pid,
             tid,
+            args: vec![("name".to_string(), json!(name))],
+        }
+    }
+
+    /// A metadata event naming lane group `pid` (Perfetto shows it as the
+    /// process title above the group's lanes).
+    pub fn process_name(pid: u64, name: &str) -> Self {
+        ChromeEvent {
+            name: "process_name".to_string(),
+            ph: Phase::Metadata,
+            ts: 0.0,
+            dur: None,
+            pid,
+            tid: HARNESS_TID,
             args: vec![("name".to_string(), json!(name))],
         }
     }
@@ -89,7 +125,7 @@ impl ChromeEvent {
         if let Some(d) = self.dur {
             o.insert("dur".to_string(), num(d));
         }
-        o.insert("pid".to_string(), json!(PID));
+        o.insert("pid".to_string(), json!(self.pid));
         o.insert("tid".to_string(), json!(self.tid));
         if self.ph == Phase::Instant {
             // Thread-scoped instant: renders as a tick on its lane.
@@ -142,6 +178,7 @@ mod tests {
                 ph: Phase::Begin,
                 ts: 0.0,
                 dur: None,
+                pid: PID,
                 tid: HARNESS_TID,
                 args: Vec::new(),
             },
@@ -150,6 +187,7 @@ mod tests {
                 ph: Phase::Complete,
                 ts: 1.0,
                 dur: Some(120.5),
+                pid: device_pid(1),
                 tid: SM_TID_BASE,
                 args: vec![("warps".to_string(), json!(8u64))],
             },
@@ -158,6 +196,7 @@ mod tests {
                 ph: Phase::End,
                 ts: 130.0,
                 dur: None,
+                pid: PID,
                 tid: HARNESS_TID,
                 args: Vec::new(),
             },
@@ -170,7 +209,20 @@ mod tests {
         assert_eq!(arr[1]["ts"].as_u64(), Some(0));
         assert_eq!(arr[2]["dur"].as_f64(), Some(120.5));
         assert_eq!(arr[2]["args"]["warps"].as_u64(), Some(8));
+        assert_eq!(arr[2]["pid"].as_u64(), Some(3), "device 1 lane group");
         assert_eq!(arr[3]["name"].as_str(), Some("experiment \"x\""));
+        assert_eq!(arr[3]["pid"].as_u64(), Some(PID));
+    }
+
+    #[test]
+    fn device_groups_get_distinct_pids() {
+        assert_eq!(device_pid(0), DEVICE_PID_BASE);
+        assert_ne!(device_pid(0), PID);
+        assert_eq!(device_pid(3) - device_pid(0), 3);
+        let e = ChromeEvent::process_name(device_pid(2), "GPU 2");
+        let text = render(std::slice::from_ref(&e));
+        assert!(text.contains("\"pid\":4"), "{text}");
+        assert!(text.contains("GPU 2"), "{text}");
     }
 
     #[test]
@@ -180,6 +232,7 @@ mod tests {
             ph: Phase::Complete,
             ts: 42.0,
             dur: Some(0.5),
+            pid: PID,
             tid: 0,
             args: Vec::new(),
         };

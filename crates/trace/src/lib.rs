@@ -39,7 +39,10 @@ pub mod metrics;
 pub mod names;
 pub mod session;
 
-pub use chrome::{ChromeEvent, Phase, HARNESS_TID, PID, SM_TID_BASE};
+pub use chrome::{
+    device_pid, ChromeEvent, Phase, DEVICE_COMPUTE_TID, DEVICE_LINK_TID, DEVICE_PID_BASE,
+    HARNESS_TID, PID, SM_TID_BASE,
+};
 pub use metrics::{Histogram, Metric, MetricsRegistry};
 pub use session::{LaunchTimeline, SpanGuard, TraceSession};
 

@@ -68,6 +68,10 @@ pub const DRAM_SECTORS: &str = "dram__sectors.sum";
 /// Bytes fetched from DRAM (counter).
 pub const DRAM_BYTES: &str = "dram__bytes.sum";
 
+/// Bytes moved over the device-to-device interconnect (counter track in
+/// the Perfetto export; counter in the registry).
+pub const INTERCONNECT_BYTES: &str = "interconnect.bytes";
+
 /// Cycles of the slowest warp (gauge).
 pub const WARP_CYCLES_MAX: &str = "smsp__warp_cycles.max";
 /// Mean warp cycles (gauge).

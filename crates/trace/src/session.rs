@@ -8,11 +8,22 @@
 //! span edges advance the clock by one tick, and a simulated launch
 //! occupies exactly its reported cycle count. No wall clock is ever read,
 //! so two identical runs export byte-identical traces.
+//!
+//! Multi-device runs place each simulated GPU in its own lane *group*
+//! (Perfetto process): [`TraceSession::ensure_device_lanes`] names the
+//! group, [`LaunchTimeline::begin_on`] routes a launch's SM lanes into it,
+//! and [`TraceSession::device_slice`] / [`TraceSession::counter`] let a
+//! serving scheduler draw batch-compute and halo-transfer slices at its
+//! own u64 cycle timestamps.
 
-use crate::chrome::{self, ChromeEvent, Phase, HARNESS_TID, SM_TID_BASE};
+use crate::chrome::{
+    self, device_pid, ChromeEvent, Phase, DEVICE_COMPUTE_TID, DEVICE_LINK_TID, HARNESS_TID, PID,
+    SM_TID_BASE,
+};
 use crate::metrics::{Histogram, MetricsRegistry};
 use crate::names;
 use serde_json::Value;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::path::Path;
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -20,8 +31,44 @@ use std::sync::{Arc, Mutex, MutexGuard};
 struct Inner {
     now: f64,
     events: Vec<ChromeEvent>,
-    /// How many SM lanes have been named so far (metadata emitted once).
-    sm_lanes: u32,
+    /// How many SM lanes have been named so far, per lane group (metadata
+    /// emitted once per lane).
+    sm_lanes: BTreeMap<u64, u32>,
+    /// Device lane groups whose metadata has been emitted.
+    device_groups: BTreeSet<u32>,
+}
+
+impl Inner {
+    fn ensure_device_lanes(&mut self, device: u32) {
+        if self.device_groups.insert(device) {
+            let pid = device_pid(device);
+            self.events
+                .push(ChromeEvent::process_name(pid, &format!("GPU {device}")));
+            self.events.push(ChromeEvent::thread_name_in(
+                pid,
+                DEVICE_COMPUTE_TID,
+                "compute",
+            ));
+            self.events.push(ChromeEvent::thread_name_in(
+                pid,
+                DEVICE_LINK_TID,
+                "interconnect",
+            ));
+        }
+    }
+
+    fn ensure_sm_lanes(&mut self, pid: u64, num_sms: usize) {
+        let named = self.sm_lanes.entry(pid).or_insert(0);
+        while (*named as usize) < num_sms {
+            let n = *named;
+            self.events.push(ChromeEvent::thread_name_in(
+                pid,
+                SM_TID_BASE + n as u64,
+                &format!("SM {n}"),
+            ));
+            *named += 1;
+        }
+    }
 }
 
 /// A handle on one tracing session: event buffer, logical clock and
@@ -47,6 +94,7 @@ impl TraceSession {
                 ph: Phase::Metadata,
                 ts: 0.0,
                 dur: None,
+                pid: PID,
                 tid: HARNESS_TID,
                 args: vec![("name".to_string(), serde_json::json!("hpsparse-sim"))],
             },
@@ -56,7 +104,8 @@ impl TraceSession {
             inner: Arc::new(Mutex::new(Inner {
                 now: 0.0,
                 events,
-                sm_lanes: 0,
+                sm_lanes: BTreeMap::new(),
+                device_groups: BTreeSet::new(),
             })),
             metrics: MetricsRegistry::new(),
         }
@@ -93,6 +142,7 @@ impl TraceSession {
             ph: Phase::Begin,
             ts,
             dur: None,
+            pid: PID,
             tid: HARNESS_TID,
             args: args
                 .iter()
@@ -114,9 +164,70 @@ impl TraceSession {
             ph: Phase::Instant,
             ts,
             dur: None,
+            pid: PID,
             tid: HARNESS_TID,
             args: Vec::new(),
         });
+    }
+
+    /// Names device `device`'s lane group — the `GPU d` process title plus
+    /// its `compute` and `interconnect` lanes. Idempotent; called
+    /// automatically by the device-scoped emitters below.
+    pub fn ensure_device_lanes(&self, device: u32) {
+        self.lock().ensure_device_lanes(device);
+    }
+
+    /// Emits a complete slice on device `device`'s lane `tid`
+    /// ([`DEVICE_COMPUTE_TID`] or [`DEVICE_LINK_TID`]) at an absolute
+    /// timestamp chosen by the caller. Serving schedulers own their cycle
+    /// arithmetic, so this does **not** consult or advance the session
+    /// clock; pair with [`Self::advance_to`] once per scheduling run.
+    pub fn device_slice(
+        &self,
+        device: u32,
+        tid: u64,
+        name: &str,
+        start: f64,
+        dur: f64,
+        args: &[(&str, Value)],
+    ) {
+        let mut inner = self.lock();
+        inner.ensure_device_lanes(device);
+        inner.events.push(ChromeEvent {
+            name: name.to_string(),
+            ph: Phase::Complete,
+            ts: start,
+            dur: Some(dur),
+            pid: device_pid(device),
+            tid,
+            args: args
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        });
+    }
+
+    /// Samples counter track `name` in device `device`'s lane group at an
+    /// absolute timestamp (e.g. [`names::INTERCONNECT_BYTES`] after each
+    /// halo transfer).
+    pub fn counter(&self, device: u32, name: &str, key: &str, ts: f64, value: f64) {
+        let mut inner = self.lock();
+        inner.ensure_device_lanes(device);
+        inner.events.push(ChromeEvent {
+            name: name.to_string(),
+            ph: Phase::Counter,
+            ts,
+            dur: None,
+            pid: device_pid(device),
+            tid: HARNESS_TID,
+            args: vec![(key.to_string(), serde_json::json!(value))],
+        });
+    }
+
+    /// Advances the logical clock to at least `t` (never rewinds).
+    pub fn advance_to(&self, t: f64) {
+        let mut inner = self.lock();
+        inner.now = inner.now.max(t);
     }
 
     /// Renders the buffered events as a Chrome trace JSON document.
@@ -157,6 +268,7 @@ impl TraceSession {
             ph: Phase::End,
             ts,
             dur: None,
+            pid: PID,
             tid: HARNESS_TID,
             args: Vec::new(),
         });
@@ -189,11 +301,16 @@ impl Drop for SpanGuard {
 /// wave by wave, counter tracks, and the per-warp cycle histogram.
 ///
 /// The builder buffers locally and takes the session lock only in
-/// [`LaunchTimeline::begin`] and [`LaunchTimeline::finish`], so the
+/// [`LaunchTimeline::begin_on`] and [`LaunchTimeline::finish`], so the
 /// simulator's per-warp hot loop never contends on the session.
 pub struct LaunchTimeline {
     session: TraceSession,
     kernel: String,
+    /// Lane group the launch renders into.
+    pid: u64,
+    /// Lane for the launch/wave slices and counter tracks within the
+    /// group: harness lane on the host, compute lane on a device.
+    lane0: u64,
     t0: f64,
     wave_start: f64,
     num_sms: usize,
@@ -208,25 +325,39 @@ pub struct LaunchTimeline {
 }
 
 impl LaunchTimeline {
-    /// Starts a timeline for `kernel` at the session's current time. SM
-    /// lanes are named on first use so the trace always carries one lane
-    /// per SM of the device.
+    /// Starts a timeline for `kernel` at the session's current time in the
+    /// host lane group. SM lanes are named on first use so the trace
+    /// always carries one lane per SM of the device.
     pub fn begin(session: &TraceSession, kernel: &str, num_sms: usize) -> Self {
+        Self::begin_on(session, kernel, num_sms, None)
+    }
+
+    /// [`Self::begin`] routed to a lane group: `device = Some(d)` renders
+    /// the launch — SM lanes included — inside simulated GPU `d`'s group,
+    /// `None` keeps the single-device layout.
+    pub fn begin_on(
+        session: &TraceSession,
+        kernel: &str,
+        num_sms: usize,
+        device: Option<u32>,
+    ) -> Self {
+        let (pid, lane0) = match device {
+            Some(d) => (device_pid(d), DEVICE_COMPUTE_TID),
+            None => (PID, HARNESS_TID),
+        };
         let t0 = {
             let mut inner = session.lock();
-            while (inner.sm_lanes as usize) < num_sms {
-                let n = inner.sm_lanes;
-                inner.events.push(ChromeEvent::thread_name(
-                    SM_TID_BASE + n as u64,
-                    &format!("SM {n}"),
-                ));
-                inner.sm_lanes += 1;
+            if let Some(d) = device {
+                inner.ensure_device_lanes(d);
             }
+            inner.ensure_sm_lanes(pid, num_sms);
             inner.now
         };
         LaunchTimeline {
             session: session.clone(),
             kernel: kernel.to_string(),
+            pid,
+            lane0,
             t0,
             wave_start: t0,
             num_sms,
@@ -260,13 +391,15 @@ impl LaunchTimeline {
         dram_sectors: u64,
         dram_bytes: u64,
     ) {
-        // Wave slice on the harness lane, nested under the launch slice.
+        // Wave slice on the group's structural lane, nested under the
+        // launch slice.
         self.events.push(ChromeEvent {
             name: format!("wave {}", self.wave_seq),
             ph: Phase::Complete,
             ts: self.wave_start,
             dur: Some(wave_time),
-            tid: HARNESS_TID,
+            pid: self.pid,
+            tid: self.lane0,
             args: vec![(
                 "blocks".to_string(),
                 serde_json::json!(self.wave_blocks.len()),
@@ -295,6 +428,7 @@ impl LaunchTimeline {
                 ph: Phase::Complete,
                 ts,
                 dur: Some(cycles * scale),
+                pid: self.pid,
                 tid: SM_TID_BASE + sm as u64,
                 args: vec![
                     ("warps".to_string(), serde_json::json!(warps)),
@@ -325,7 +459,8 @@ impl LaunchTimeline {
                 ph: Phase::Counter,
                 ts: self.wave_start,
                 dur: None,
-                tid: HARNESS_TID,
+                pid: self.pid,
+                tid: self.lane0,
                 args: vec![(key.to_string(), serde_json::json!(value))],
             });
         }
@@ -336,9 +471,9 @@ impl LaunchTimeline {
     }
 
     /// Flushes the launch into the session: a complete slice spanning the
-    /// reported `cycles` on the harness lane, all buffered wave/block/
-    /// counter events, the warp-cycle histogram into the metrics registry,
-    /// and the clock advanced past the launch.
+    /// reported `cycles` on the group's structural lane, all buffered
+    /// wave/block/counter events, the warp-cycle histogram into the
+    /// metrics registry, and the clock advanced past the launch.
     pub fn finish(self, cycles: f64) {
         let metrics = self.session.metrics.clone();
         metrics.merge_histogram(
@@ -351,7 +486,8 @@ impl LaunchTimeline {
             ph: Phase::Complete,
             ts: self.t0,
             dur: Some(cycles),
-            tid: HARNESS_TID,
+            pid: self.pid,
+            tid: self.lane0,
             args: vec![("waves".to_string(), serde_json::json!(self.wave_seq))],
         });
         inner.events.extend(self.events);
@@ -411,6 +547,7 @@ mod tests {
             .find(|e| e["name"].as_str() == Some("demo"))
             .unwrap();
         assert_eq!(launch["dur"].as_u64(), Some(100));
+        assert_eq!(launch["pid"].as_u64(), Some(PID));
         // Histogram landed in the registry.
         match s
             .metrics()
@@ -443,6 +580,83 @@ mod tests {
             })
             .count();
         assert_eq!(lanes, 4);
+    }
+
+    #[test]
+    fn device_launches_render_in_their_own_group() {
+        let s = TraceSession::new();
+        LaunchTimeline::begin_on(&s, "k0", 2, Some(0)).finish(10.0);
+        LaunchTimeline::begin_on(&s, "k1", 2, Some(1)).finish(10.0);
+        let doc = serde_json::from_str(&s.to_chrome_json()).unwrap();
+        let events = doc["traceEvents"].as_array().unwrap();
+        // Each device names its own process + 2 scheduler lanes + 2 SM
+        // lanes (lane metadata is per group, not shared).
+        for d in 0u64..2 {
+            let pid = DEVICE_PID_BASE_TEST + d;
+            assert!(events.iter().any(|e| {
+                e["ph"].as_str() == Some("M")
+                    && e["pid"].as_u64() == Some(pid)
+                    && e["args"]["name"].as_str() == Some(&format!("GPU {d}"))
+            }));
+            let sm_lanes = events
+                .iter()
+                .filter(|e| {
+                    e["ph"].as_str() == Some("M")
+                        && e["pid"].as_u64() == Some(pid)
+                        && e["args"]["name"]
+                            .as_str()
+                            .is_some_and(|n| n.starts_with("SM "))
+                })
+                .count();
+            assert_eq!(sm_lanes, 2);
+        }
+        let k1 = events
+            .iter()
+            .find(|e| e["name"].as_str() == Some("k1"))
+            .unwrap();
+        assert_eq!(k1["pid"].as_u64(), Some(DEVICE_PID_BASE_TEST + 1));
+        assert_eq!(k1["tid"].as_u64(), Some(DEVICE_COMPUTE_TID));
+    }
+
+    const DEVICE_PID_BASE_TEST: u64 = crate::chrome::DEVICE_PID_BASE;
+
+    #[test]
+    fn device_slices_and_counters_land_in_the_group() {
+        let s = TraceSession::new();
+        s.device_slice(
+            3,
+            DEVICE_LINK_TID,
+            "halo d1→d3",
+            100.0,
+            250.0,
+            &[("bytes", serde_json::json!(4096u64))],
+        );
+        s.counter(3, names::INTERCONNECT_BYTES, "bytes", 350.0, 4096.0);
+        s.advance_to(350.0);
+        assert_eq!(s.now(), 350.0);
+        s.advance_to(10.0); // never rewinds
+        assert_eq!(s.now(), 350.0);
+        let doc = serde_json::from_str(&s.to_chrome_json()).unwrap();
+        let events = doc["traceEvents"].as_array().unwrap();
+        let halo = events
+            .iter()
+            .find(|e| e["name"].as_str() == Some("halo d1→d3"))
+            .unwrap();
+        assert_eq!(halo["pid"].as_u64(), Some(DEVICE_PID_BASE_TEST + 3));
+        assert_eq!(halo["tid"].as_u64(), Some(DEVICE_LINK_TID));
+        assert_eq!(halo["dur"].as_u64(), Some(250));
+        let ctr = events
+            .iter()
+            .find(|e| e["ph"].as_str() == Some("C"))
+            .unwrap();
+        assert_eq!(ctr["name"].as_str(), Some(names::INTERCONNECT_BYTES));
+        assert_eq!(ctr["args"]["bytes"].as_f64(), Some(4096.0));
+        // Lane-group metadata was emitted exactly once despite two calls.
+        let titles = events
+            .iter()
+            .filter(|e| e["args"]["name"].as_str() == Some("GPU 3"))
+            .count();
+        assert_eq!(titles, 1);
     }
 
     #[test]
