@@ -81,6 +81,12 @@ impl Cluster {
         device: DeviceSpec,
         link: LinkSpec,
     ) -> Self {
+        assert!(num_devices >= 1, "need at least one device");
+        assert_eq!(
+            features.rows(),
+            plan.assignment.len(),
+            "one feature row per node in the shard plan"
+        );
         let k = features.cols();
         let shard_features: Vec<Dense> = plan
             .shards

@@ -11,7 +11,8 @@
 //!    timer (`first_arrival + max_wait_cycles`).
 //! 2. **Fill** — later sub-requests join while they arrive within the
 //!    window; a batch reaching `max_batch_rows` closes immediately with
-//!    `ready = triggering arrival`.
+//!    `ready = triggering arrival`. The cap is hard: a sub-request larger
+//!    than the remaining space splits across consecutive batches.
 //! 3. **Timeout** — a sub-request arriving past the window closes the
 //!    open batch with `ready = first_arrival + max_wait_cycles` and opens
 //!    the next; the final batch closes the same way.
@@ -120,7 +121,9 @@ pub fn synthetic_workload(g: &Graph, cfg: &WorkloadConfig) -> Vec<Request> {
 /// Batching policy.
 #[derive(Debug, Clone, Copy)]
 pub struct BatcherConfig {
-    /// Close a batch as soon as it holds this many target rows.
+    /// Close a batch as soon as it holds this many target rows. A hard
+    /// cap: request slices that would overflow it split across
+    /// consecutive batches.
     pub max_batch_rows: usize,
     /// Close a batch this many cycles after its first arrival regardless
     /// of fill.
@@ -137,14 +140,19 @@ impl Default for BatcherConfig {
 }
 
 /// A request's slice of a batch: which output rows belong to it.
-#[derive(Debug, Clone, Copy)]
+///
+/// A shard's targets are *not* contiguous inside the request in general
+/// (a random walk interleaves shards: `[a:s0, b:s1, c:s0]`), so each
+/// batch row carries its exact position in the request's target list.
+#[derive(Debug, Clone)]
 struct Member {
     req: usize,
-    /// Offset of this slice inside the request's target list.
-    req_offset: usize,
-    /// Row range inside the batch.
+    /// Position in the request's target list, one entry per batch row:
+    /// batch row `row_start + i` is the request's `positions[i]`-th
+    /// target.
+    positions: Vec<usize>,
+    /// First row of this slice inside the batch.
     row_start: usize,
-    rows: usize,
 }
 
 /// One planned batch, before execution.
@@ -304,31 +312,38 @@ fn plan_batches(cluster: &Cluster, requests: &[Request], cfg: &BatcherConfig) ->
                                 open = Some(b);
                             }
                         }
-                        let batch = open.get_or_insert_with(|| {
-                            first_arrival = req.arrival_cycle;
-                            PlannedBatch {
-                                shard,
-                                seq: batches.len(),
-                                ready: first_arrival + cfg.max_wait_cycles,
-                                rows: Vec::new(),
-                                members: Vec::new(),
+                        // Fill batches with this request's slice,
+                        // splitting across consecutive batches when it
+                        // would overflow `max_batch_rows` — the cap is a
+                        // hard ceiling, not a soft threshold.
+                        let mut offset = 0usize;
+                        while offset < mine.len() {
+                            let batch = open.get_or_insert_with(|| {
+                                first_arrival = req.arrival_cycle;
+                                PlannedBatch {
+                                    shard,
+                                    seq: batches.len(),
+                                    ready: first_arrival + cfg.max_wait_cycles,
+                                    rows: Vec::new(),
+                                    members: Vec::new(),
+                                }
+                            });
+                            let space = cfg.max_batch_rows.saturating_sub(batch.rows.len()).max(1);
+                            let chunk = &mine[offset..mine.len().min(offset + space)];
+                            let row_start = batch.rows.len();
+                            batch.rows.extend(chunk.iter().map(|&(_, t)| t));
+                            batch.members.push(Member {
+                                req: req_idx,
+                                positions: chunk.iter().map(|&(p, _)| p).collect(),
+                                row_start,
+                            });
+                            offset += chunk.len();
+                            // Size cut: full enough to launch right now.
+                            if batch.rows.len() >= cfg.max_batch_rows {
+                                let mut b = open.take().unwrap();
+                                b.ready = req.arrival_cycle;
+                                batches.push(b);
                             }
-                        });
-                        // Contiguous runs of the request's targets keep
-                        // their relative order inside the batch.
-                        let row_start = batch.rows.len();
-                        batch.rows.extend(mine.iter().map(|&(_, t)| t));
-                        batch.members.push(Member {
-                            req: req_idx,
-                            req_offset: mine[0].0,
-                            row_start,
-                            rows: mine.len(),
-                        });
-                        // Size cut: full enough to launch right now.
-                        if batch.rows.len() >= cfg.max_batch_rows {
-                            let mut b = open.take().unwrap();
-                            b.ready = req.arrival_cycle;
-                            batches.push(b);
                         }
                     }
                     if let Some(b) = open.take() {
@@ -427,9 +442,9 @@ pub fn serve(
 
         for m in &batch.members {
             let out = &mut outputs[m.req];
-            for r in 0..m.rows {
+            for (r, &pos) in m.positions.iter().enumerate() {
                 let src = result.outputs.row(m.row_start + r);
-                let dst_base = (m.req_offset + r) * k;
+                let dst_base = pos * k;
                 for (c, v) in src.iter().enumerate() {
                     out[dst_base + c] = v.to_bits();
                 }
@@ -597,6 +612,75 @@ mod tests {
         let text = serde_json::to_string(&rep.to_json()).unwrap();
         let doc: Value = serde_json::from_str(&text).unwrap();
         assert!(doc["throughput_rps"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn serve_outputs_match_full_graph_reference_rows() {
+        // Against the CPU full-graph SpMM, not another cluster built from
+        // the same plan — catches row misattribution that a plan-sharing
+        // reference would reproduce (e.g. a request whose targets
+        // interleave across shards: [a:s0, b:s1, c:s0]).
+        let g = graph();
+        let k = 8;
+        let f = features(&g, k);
+        let mut cluster = Cluster::new(&g, &f, 4, 2, DeviceSpec::v100(), LinkSpec::nvlink());
+        let mut reqs = workload(&g, 40);
+        // Force a request whose targets interleave across shards —
+        // shard 0's positions {0, 2} are non-contiguous.
+        let s0 = &cluster.plan().shards[0].owned;
+        let s1 = &cluster.plan().shards[1].owned;
+        reqs.push(Request {
+            id: reqs.len() as u64,
+            arrival_cycle: reqs.last().map_or(0, |r| r.arrival_cycle) + 100_000,
+            targets: vec![s0[0], s1[0], s0[1], s1[1]],
+        });
+        // Small cap so oversized request slices split across batches too.
+        let cfg = BatcherConfig {
+            max_batch_rows: 3,
+            max_wait_cycles: 250_000,
+        };
+        let outcome = serve(&mut cluster, &reqs, &cfg, None);
+        let full = hpsparse_sparse::reference::spmm(&g.to_hybrid(), &f).unwrap();
+        for (i, r) in reqs.iter().enumerate() {
+            for (p, &t) in r.targets.iter().enumerate() {
+                for c in 0..k {
+                    let got = f32::from_bits(outcome.outputs[i][p * k + c]);
+                    let want = full.get(t as usize, c);
+                    assert!(
+                        (got - want).abs() <= 1e-5 * want.abs().max(1.0),
+                        "request {i} target {t} (position {p}) col {c}: {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_batch_rows_is_a_hard_cap_and_rows_are_covered_once() {
+        let g = graph();
+        let f = features(&g, 8);
+        let cluster = Cluster::new(&g, &f, 2, 2, DeviceSpec::v100(), LinkSpec::nvlink());
+        let reqs = workload(&g, 40);
+        let cfg = BatcherConfig {
+            max_batch_rows: 2,
+            max_wait_cycles: 250_000,
+        };
+        let batches = plan_batches(&cluster, &reqs, &cfg);
+        let mut seen = std::collections::HashSet::new();
+        for b in &batches {
+            assert!(b.rows.len() <= cfg.max_batch_rows, "batch exceeds cap");
+            let member_rows: usize = b.members.iter().map(|m| m.positions.len()).sum();
+            assert_eq!(member_rows, b.rows.len(), "members must tile the batch");
+            for m in &b.members {
+                for (r, &pos) in m.positions.iter().enumerate() {
+                    // The batch row really is that position's target.
+                    assert_eq!(b.rows[m.row_start + r], reqs[m.req].targets[pos]);
+                    assert!(seen.insert((m.req, pos)), "position written twice");
+                }
+            }
+        }
+        let total: usize = reqs.iter().map(|r| r.targets.len()).sum();
+        assert_eq!(seen.len(), total, "every target position covered");
     }
 
     #[test]
