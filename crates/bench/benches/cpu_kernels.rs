@@ -95,5 +95,68 @@ fn bench_registry_graph(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_spmm, bench_sddmm, bench_registry_graph);
+/// The tiled inner-loop primitives against their scalar equivalents: the
+/// before/after of the fixed-width `chunks_exact` vectorization. The
+/// scalar bodies here are the loops the kernels shipped with previously.
+fn bench_inner_loops(c: &mut Criterion) {
+    const K: usize = 64;
+    const ROWS: usize = 4096;
+    let x: Vec<f32> = (0..K * ROWS)
+        .map(|i| ((i * 37) % 911) as f32 * 1e-3)
+        .collect();
+    let y: Vec<f32> = (0..K * ROWS)
+        .map(|i| ((i * 53) % 773) as f32 * 1e-3)
+        .collect();
+
+    let mut group = c.benchmark_group("cpu_inner");
+    group.sample_size(30);
+    group.throughput(Throughput::Elements((K * ROWS) as u64));
+    group.bench_function("axpy_scalar", |b| {
+        let mut acc = vec![0f32; K * ROWS];
+        b.iter(|| {
+            for (row_a, row_x) in acc.chunks_exact_mut(K).zip(x.chunks_exact(K)) {
+                for kk in 0..K {
+                    row_a[kk] += 0.5 * row_x[kk];
+                }
+            }
+            criterion::black_box(&mut acc);
+        })
+    });
+    group.bench_function("axpy_tiled", |b| {
+        let mut acc = vec![0f32; K * ROWS];
+        b.iter(|| {
+            for (row_a, row_x) in acc.chunks_exact_mut(K).zip(x.chunks_exact(K)) {
+                cpu::axpy(row_a, 0.5, row_x);
+            }
+            criterion::black_box(&mut acc);
+        })
+    });
+    group.bench_function("dot_scalar", |b| {
+        b.iter(|| {
+            let mut sum = 0f32;
+            for (row_x, row_y) in x.chunks_exact(K).zip(y.chunks_exact(K)) {
+                sum += row_x.iter().zip(row_y).map(|(a, b)| a * b).sum::<f32>();
+            }
+            criterion::black_box(sum)
+        })
+    });
+    group.bench_function("dot_tiled", |b| {
+        b.iter(|| {
+            let mut sum = 0f32;
+            for (row_x, row_y) in x.chunks_exact(K).zip(y.chunks_exact(K)) {
+                sum += cpu::dot(row_x, row_y);
+            }
+            criterion::black_box(sum)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_spmm,
+    bench_sddmm,
+    bench_registry_graph,
+    bench_inner_loops
+);
 criterion_main!(benches);

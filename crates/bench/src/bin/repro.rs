@@ -43,11 +43,14 @@
 //! CSV, anything else for JSON). Both artefacts are deterministic:
 //! identical invocations produce byte-identical files.
 //!
-//! `--selftime-baseline FILE` makes `selftime` compare its fresh total
-//! against a committed `BENCH_repro.json` and exit non-zero if the run
-//! regressed beyond `--selftime-tolerance` (fractional, default 0.25 to
-//! absorb machine noise; the tracing-overhead budget of DESIGN.md is
-//! validated with a strict 0.01 at baseline-refresh time).
+//! `selftime` folds its run into `BENCH_repro.json` under a `runs` object
+//! keyed by thread count, so records at `RAYON_NUM_THREADS=1` and `=4`
+//! coexist. `--selftime-baseline FILE` makes `selftime` compare its fresh
+//! total against the committed section matching its own thread count and
+//! exit non-zero if the run regressed beyond `--selftime-tolerance`
+//! (fractional, default 0.25 to absorb machine noise; the tracing-overhead
+//! budget of DESIGN.md is validated with a strict 0.01 at baseline-refresh
+//! time).
 
 use hpsparse_bench::experiments::{dispatch, selftime, Effort, ALL_EXPERIMENTS, CATALOG};
 
@@ -116,9 +119,10 @@ fn main() {
         let started = std::time::Instant::now();
         let out = if name == "selftime" {
             let out = selftime::run(effort);
+            let merged = merge_selftime_record(&out.json, "BENCH_repro.json");
             std::fs::write(
                 "BENCH_repro.json",
-                serde_json::to_string_pretty(&out.json).unwrap(),
+                serde_json::to_string_pretty(&merged).unwrap(),
             )
             .expect("write BENCH_repro.json");
             eprintln!("[wrote BENCH_repro.json]");
@@ -167,26 +171,65 @@ fn main() {
     }
 }
 
+/// Folds one fresh `selftime` run into the committed multi-thread record:
+/// `BENCH_repro.json` keeps a `runs` object keyed by thread count, so runs
+/// at `RAYON_NUM_THREADS=1` and `=4` coexist instead of overwriting each
+/// other. Sections from a previous record survive when the effort matches;
+/// an effort change (or an unreadable/legacy flat record) starts fresh.
+fn merge_selftime_record(fresh: &serde_json::Value, path: &str) -> serde_json::Value {
+    let threads = fresh["threads"].as_u64().expect("selftime threads");
+    let mut runs = serde_json::Map::new();
+    if let Ok(text) = std::fs::read_to_string(path) {
+        if let Ok(prev) = serde_json::from_str(&text) {
+            if prev["effort"] == fresh["effort"] {
+                if let Some(prev_runs) = prev["runs"].as_object() {
+                    runs = prev_runs.clone();
+                }
+            }
+        }
+    }
+    let mut section = serde_json::Map::new();
+    if let Some(obj) = fresh.as_object() {
+        for (k, v) in obj.iter() {
+            if k != "mode" && k != "effort" {
+                section.insert(k.clone(), v.clone());
+            }
+        }
+    }
+    runs.insert(threads.to_string(), serde_json::Value::Object(section));
+    let mut record = serde_json::Map::new();
+    record.insert("mode".into(), fresh["mode"].clone());
+    record.insert("effort".into(), fresh["effort"].clone());
+    record.insert("runs".into(), serde_json::Value::Object(runs));
+    serde_json::Value::Object(record)
+}
+
 /// Compares a fresh `selftime` total against a committed baseline, failing
 /// the process when the harness got more than `tolerance` slower. Only
 /// totals are compared — per-experiment noise is too high on shared CI
-/// machines — and a baseline recorded at a different effort or thread
-/// count is rejected rather than silently compared.
+/// machines. The baseline section is selected by the fresh run's thread
+/// count (`runs.<threads>`); a baseline recorded at a different effort, or
+/// with no section for this thread count, is rejected rather than silently
+/// compared.
 fn check_selftime_baseline(fresh: &serde_json::Value, baseline_path: &str, tolerance: f64) {
     let text = std::fs::read_to_string(baseline_path)
         .unwrap_or_else(|e| usage(&format!("--selftime-baseline {baseline_path}: {e}")));
     let baseline: serde_json::Value = serde_json::from_str(&text)
         .unwrap_or_else(|e| usage(&format!("--selftime-baseline {baseline_path}: {e}")));
-    for key in ["effort", "threads"] {
-        let (b, f) = (&baseline[key], &fresh[key]);
-        if b != f {
-            eprintln!(
-                "[selftime-baseline] {key} mismatch (baseline {b}, fresh {f}) — not comparable"
-            );
-            std::process::exit(2);
-        }
+    let (b, f) = (&baseline["effort"], &fresh["effort"]);
+    if b != f {
+        eprintln!("[selftime-baseline] effort mismatch (baseline {b}, fresh {f}) — not comparable");
+        std::process::exit(2);
     }
-    let base = baseline["total_seconds"].as_f64().unwrap_or_else(|| {
+    let threads = fresh["threads"].as_u64().expect("selftime threads");
+    let section = &baseline["runs"][threads.to_string().as_str()];
+    if section.as_object().is_none() {
+        eprintln!(
+            "[selftime-baseline] no baseline section for {threads} thread(s) — not comparable"
+        );
+        std::process::exit(2);
+    }
+    let base = section["total_seconds"].as_f64().unwrap_or_else(|| {
         usage(&format!(
             "--selftime-baseline {baseline_path}: no total_seconds"
         ))

@@ -1,13 +1,19 @@
-//! `fastcheck` — differential test of the fast cost engine.
+//! `fastcheck` — three-way differential test of the cost engines.
 //!
 //! Every SpMM/SDDMM kernel (HP kernels plus every registry baseline) runs
-//! on every full-graph registry dataset twice: once on the default fast
-//! engine (descriptor batching + warp-signature memoization) and once on
-//! the reference engine ([`GpuSim::set_reference_engine`]), which expands
-//! every descriptor element-wise and disables memoization. The two
-//! [`LaunchReport`]s must be *equal* — not approximately, field for field —
-//! for every cell. This is the witness that the fast paths are pure
-//! optimisations: same model, fewer host instructions.
+//! on every full-graph registry dataset three times: once on the
+//! **reference** engine (element-wise descriptor expansion, no
+//! memoization), once on the forced **batched** engine (descriptor
+//! batching + warp-signature memoization), and once on the forced
+//! **parallel** engine (chunked capture, set-sharded L2 replay,
+//! deterministic warp-order merge). All three [`LaunchReport`]s must be
+//! *equal* — not approximately, field for field — for every cell. This is
+//! the witness that both fast paths are pure optimisations: same model,
+//! fewer (or concurrent) host instructions.
+//!
+//! The engines are forced via [`GpuSim::set_engine`] rather than left on
+//! `Auto`, so the parallel column is exercised even on a single-threaded
+//! host where `Auto` would resolve to batched.
 //!
 //! Two feature dimensions are checked per cell: the benchmark default
 //! (K = 64), which exercises the vectorized and memo-eligible paths, and an
@@ -19,7 +25,7 @@ use crate::table;
 use hpsparse_core::baselines::registry;
 use hpsparse_core::hp::{HpSddmm, HpSpmm};
 use hpsparse_datasets::{full_graph_dataset, store};
-use hpsparse_sim::{DeviceSpec, GpuSim, LaunchReport};
+use hpsparse_sim::{CostEngine, DeviceSpec, GpuSim, LaunchReport};
 use hpsparse_sparse::Hybrid;
 use serde_json::json;
 
@@ -52,36 +58,55 @@ pub struct KernelDiff {
 }
 
 impl KernelDiff {
-    /// Fast and reference reports equal on every cell?
+    /// All three engines' reports equal on every cell?
     pub fn passed(&self) -> bool {
         self.matching == self.cells
     }
 }
 
-fn fold(diff: &mut KernelDiff, graph: &str, k: usize, fast: &LaunchReport, refr: &LaunchReport) {
+/// The fast engines under test, each forced so `Auto` resolution cannot
+/// silently drop a column.
+const FAST_ENGINES: [(&str, CostEngine); 2] = [
+    ("batched", CostEngine::Batched),
+    ("parallel", CostEngine::Parallel),
+];
+
+fn fold(
+    diff: &mut KernelDiff,
+    graph: &str,
+    k: usize,
+    fast: &[(&str, LaunchReport)],
+    refr: &LaunchReport,
+) {
     diff.cells += 1;
-    diff.cycles += fast.cycles;
-    if fast == refr {
-        diff.matching += 1;
-    } else if diff.mismatches.len() < 4 {
-        diff.mismatches.push(format!(
-            "{graph} K={k}: fast {{cycles {}, tx {}, l2_hits {}, dram {}}} vs \
-             reference {{cycles {}, tx {}, l2_hits {}, dram {}}}",
-            fast.cycles,
-            fast.totals.transactions,
-            fast.totals.l2_hit_sectors,
-            fast.totals.dram_sectors,
-            refr.cycles,
-            refr.totals.transactions,
-            refr.totals.l2_hit_sectors,
-            refr.totals.dram_sectors,
-        ));
+    diff.cycles += refr.cycles;
+    let mut ok = true;
+    for (engine, report) in fast {
+        if report == refr {
+            continue;
+        }
+        ok = false;
+        if diff.mismatches.len() < 4 {
+            diff.mismatches.push(format!(
+                "{graph} K={k}: {engine} {{cycles {}, tx {}, l2_hits {}, dram {}}} vs \
+                 reference {{cycles {}, tx {}, l2_hits {}, dram {}}}",
+                report.cycles,
+                report.totals.transactions,
+                report.totals.l2_hit_sectors,
+                report.totals.dram_sectors,
+                refr.cycles,
+                refr.totals.transactions,
+                refr.totals.l2_hit_sectors,
+                refr.totals.dram_sectors,
+            ));
+        }
     }
+    diff.matching += usize::from(ok);
 }
 
 /// Runs the differential sweep: every kernel × every registry graph × every
-/// K in [`CHECK_KS`], one fresh simulator pair per cell so both engines see
-/// an identically cold L2.
+/// K in [`CHECK_KS`], one fresh simulator per engine per cell so all three
+/// engines see an identically cold L2.
 pub fn collect(device: &DeviceSpec, effort: Effort) -> Vec<KernelDiff> {
     let cap = edge_cap(effort);
     let graphs: Vec<(String, Hybrid)> = full_graph_dataset()
@@ -113,16 +138,23 @@ pub fn collect(device: &DeviceSpec, effort: Effort) -> Vec<KernelDiff> {
                     registry::spmm_by_id(id).expect("registry id resolves")
                 };
                 let a = crate::runner::bench_features(s.cols(), k);
-                let mut fast_sim = GpuSim::new(device.clone());
-                let fast = kernel
-                    .run_on(&mut fast_sim, s, &a)
-                    .unwrap_or_else(|e| panic!("{id} on {graph}: {e:?}"));
                 let mut ref_sim = GpuSim::new(device.clone());
-                ref_sim.set_reference_engine(true);
+                ref_sim.set_engine(CostEngine::Reference);
                 let refr = kernel
                     .run_on(&mut ref_sim, s, &a)
                     .unwrap_or_else(|e| panic!("{id} on {graph} (reference): {e:?}"));
-                fold(&mut diff, graph, k, &fast.report, &refr.report);
+                let fast: Vec<(&str, LaunchReport)> = FAST_ENGINES
+                    .iter()
+                    .map(|&(label, engine)| {
+                        let mut sim = GpuSim::new(device.clone());
+                        sim.set_engine(engine);
+                        let run = kernel
+                            .run_on(&mut sim, s, &a)
+                            .unwrap_or_else(|e| panic!("{id} on {graph} ({label}): {e:?}"));
+                        (label, run.report)
+                    })
+                    .collect();
+                fold(&mut diff, graph, k, &fast, &refr.report);
             }
         }
         diffs.push(diff);
@@ -144,16 +176,23 @@ pub fn collect(device: &DeviceSpec, effort: Effort) -> Vec<KernelDiff> {
                 };
                 let a1 = crate::runner::bench_features(s.rows(), k);
                 let a2t = crate::runner::bench_features(s.cols(), k);
-                let mut fast_sim = GpuSim::new(device.clone());
-                let fast = kernel
-                    .run_on(&mut fast_sim, s, &a1, &a2t)
-                    .unwrap_or_else(|e| panic!("{id} on {graph}: {e:?}"));
                 let mut ref_sim = GpuSim::new(device.clone());
-                ref_sim.set_reference_engine(true);
+                ref_sim.set_engine(CostEngine::Reference);
                 let refr = kernel
                     .run_on(&mut ref_sim, s, &a1, &a2t)
                     .unwrap_or_else(|e| panic!("{id} on {graph} (reference): {e:?}"));
-                fold(&mut diff, graph, k, &fast.report, &refr.report);
+                let fast: Vec<(&str, LaunchReport)> = FAST_ENGINES
+                    .iter()
+                    .map(|&(label, engine)| {
+                        let mut sim = GpuSim::new(device.clone());
+                        sim.set_engine(engine);
+                        let run = kernel
+                            .run_on(&mut sim, s, &a1, &a2t)
+                            .unwrap_or_else(|e| panic!("{id} on {graph} ({label}): {e:?}"));
+                        (label, run.report)
+                    })
+                    .collect();
+                fold(&mut diff, graph, k, &fast, &refr.report);
             }
         }
         diffs.push(diff);
@@ -194,7 +233,7 @@ pub fn render(device: &DeviceSpec, effort: Effort, diffs: &[KernelDiff]) -> Expe
 
     let ks: Vec<String> = CHECK_KS.iter().map(|k| k.to_string()).collect();
     let text = format!(
-        "fastcheck — fast vs reference cost engine, K ∈ {{{}}}, {} ({}, edge cap {})\n\n{}\n  \
+        "fastcheck — reference vs batched vs parallel cost engines, K ∈ {{{}}}, {} ({}, edge cap {})\n\n{}\n  \
          verdict: {}\n{}",
         ks.join(", "),
         device.name,
@@ -202,7 +241,7 @@ pub fn render(device: &DeviceSpec, effort: Effort, diffs: &[KernelDiff]) -> Expe
         edge_cap(effort),
         table::render(&header, &rows),
         if all_match {
-            "every LaunchReport identical across engines"
+            "every LaunchReport identical across all three engines"
         } else {
             "ENGINE DIVERGENCE:"
         },
@@ -228,6 +267,7 @@ pub fn render(device: &DeviceSpec, effort: Effort, diffs: &[KernelDiff]) -> Expe
         text,
         json: json!({
             "device": device.name,
+            "engines": FAST_ENGINES.iter().map(|&(label, _)| json!(label)).collect::<Vec<_>>(),
             "ks": CHECK_KS.iter().map(|&k| json!(k)).collect::<Vec<_>>(),
             "effort": effort.label(),
             "edge_cap": edge_cap(effort),
@@ -245,14 +285,22 @@ mod tests {
     fn acceptance_every_cell_matches() {
         let out = run(&DeviceSpec::v100(), Effort::Quick);
         assert_eq!(out.json["all_match"].as_bool(), Some(true), "{}", out.text);
+        // Both fast engines checked against the reference on every cell:
         // 12 SpMM (hp + 11 registry) + 3 SDDMM (hp + 2 registry), each on
-        // 19 graphs × 2 feature dimensions.
+        // 19 graphs × 2 feature dimensions — 570 cells in total.
         let kernels = out.json["kernels"].as_array().unwrap();
         assert_eq!(kernels.len(), 15);
+        assert_eq!(
+            out.json["engines"],
+            serde_json::json!(["batched", "parallel"])
+        );
+        let mut cells = 0;
         for k in kernels {
             assert_eq!(k["cells"].as_u64(), Some(38), "{}", k["id"]);
             assert_eq!(k["cells"], k["matching"], "{}", k["id"]);
             assert!(k["cycles"].as_u64().unwrap() > 0, "{}", k["id"]);
+            cells += k["cells"].as_u64().unwrap();
         }
+        assert_eq!(cells, 570);
     }
 }

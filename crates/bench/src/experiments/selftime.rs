@@ -2,9 +2,10 @@
 //!
 //! Runs every experiment of `repro all` at the requested effort, measuring
 //! each one's wall time (output text is produced and discarded). The JSON
-//! side is what `BENCH_repro.json` records: per-experiment seconds plus the
-//! thread count, so speedups from the parallel harness can be tracked
-//! across commits and core counts.
+//! side is one run record — per-experiment seconds plus the thread count —
+//! which the `repro` binary folds into `BENCH_repro.json` under
+//! `runs.<threads>`, so speedups from the parallel engines can be tracked
+//! across commits *and* across core counts in one committed file.
 
 use crate::experiments::{dispatch, Effort, ExperimentOutput, ALL_EXPERIMENTS};
 use serde_json::json;

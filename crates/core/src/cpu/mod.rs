@@ -13,9 +13,64 @@
 //!   per-chunk partial outputs merged afterwards; balanced under skew),
 //! * [`par_sddmm`] — element-parallel SDDMM (embarrassingly parallel since
 //!   every output element is independent).
+//!
+//! The per-element inner loops (the dense-row AXPY of SpMM, the K-wide dot
+//! of SDDMM) are tiled to fixed-width `LANES`-element chunks so the
+//! compiler autovectorizes them; see [`axpy`] and [`dot`]. Reproducibility
+//! across `RAYON_NUM_THREADS` is preserved: no accumulation order anywhere
+//! in this module depends on the thread count.
 
 use hpsparse_sparse::{Csr, Dense, FormatError, Hybrid};
 use rayon::prelude::*;
+
+/// f32 lanes the inner loops are tiled to. Eight 4-byte lanes fill a
+/// 256-bit vector register; the fixed-width `chunks_exact` bodies below
+/// have no cross-lane dependence, which is the shape LLVM's
+/// autovectorizer turns into packed instructions without `unsafe` or
+/// target-feature detection.
+const LANES: usize = 8;
+
+/// `acc[i] += v * x[i]` tiled to `LANES`-wide chunks. Every element is
+/// independent, so this is bit-identical to the scalar loop — tiling only
+/// exposes the independence to the vectorizer.
+#[inline]
+pub fn axpy(acc: &mut [f32], v: f32, x: &[f32]) {
+    debug_assert_eq!(acc.len(), x.len());
+    let mut a_it = acc.chunks_exact_mut(LANES);
+    let mut x_it = x.chunks_exact(LANES);
+    for (a8, x8) in a_it.by_ref().zip(x_it.by_ref()) {
+        for l in 0..LANES {
+            a8[l] += v * x8[l];
+        }
+    }
+    for (a, xv) in a_it.into_remainder().iter_mut().zip(x_it.remainder()) {
+        *a += v * *xv;
+    }
+}
+
+/// `Σ x[i]·y[i]` with `LANES` independent accumulators folded at the
+/// end. The association differs from a sequential fold (it's a fixed
+/// lane-striped order), but depends only on the slice length — never on
+/// the thread count — so results are reproducible at any
+/// `RAYON_NUM_THREADS`.
+#[inline]
+pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    debug_assert_eq!(x.len(), y.len());
+    let x_it = x.chunks_exact(LANES);
+    let y_it = y.chunks_exact(LANES);
+    let (x_tail, y_tail) = (x_it.remainder(), y_it.remainder());
+    let mut lanes = [0f32; LANES];
+    for (x8, y8) in x_it.zip(y_it) {
+        for l in 0..LANES {
+            lanes[l] += x8[l] * y8[l];
+        }
+    }
+    let mut sum = lanes.iter().sum::<f32>();
+    for (a, b) in x_tail.iter().zip(y_tail) {
+        sum += a * b;
+    }
+    sum
+}
 
 /// Node-parallel CPU SpMM over CSR: one rayon task per output row.
 pub fn par_spmm_row(s: &Csr, a: &Dense) -> Result<Dense, FormatError> {
@@ -34,11 +89,7 @@ pub fn par_spmm_row(s: &Csr, a: &Dense) -> Result<Dense, FormatError> {
         .for_each(|(r, o_row)| {
             for e in s.row_range(r) {
                 let c = col_ind[e] as usize;
-                let v = values[e];
-                let a_row = a.row(c);
-                for kk in 0..k {
-                    o_row[kk] += v * a_row[kk];
-                }
+                axpy(o_row, values[e], a.row(c));
             }
         });
     Ok(out)
@@ -86,11 +137,7 @@ pub fn par_spmm_hybrid(s: &Hybrid, a: &Dense, chunk: usize) -> Result<Dense, For
                     cur_row = r;
                 }
                 let c = col_ind[i] as usize;
-                let v = values[i];
-                let a_row = a.row(c);
-                for kk in 0..k {
-                    acc[kk] += v * a_row[kk];
-                }
+                axpy(&mut acc, values[i], a.row(c));
             }
             rows.push((cur_row, acc));
             (start, rows)
@@ -100,10 +147,7 @@ pub fn par_spmm_hybrid(s: &Hybrid, a: &Dense, chunk: usize) -> Result<Dense, For
     let mut out = Dense::zeros(s.rows(), k);
     for (_, rows) in partials {
         for (r, acc) in rows {
-            let o_row = out.row_mut(r);
-            for kk in 0..k {
-                o_row[kk] += acc[kk];
-            }
+            axpy(out.row_mut(r), 1.0, &acc);
         }
     }
     Ok(out)
@@ -125,8 +169,7 @@ pub fn par_sddmm(s: &Hybrid, a1: &Dense, a2t: &Dense) -> Result<Vec<f32>, Format
         .map(|i| {
             let r = row_ind[i] as usize;
             let c = col_ind[i] as usize;
-            let dot: f32 = a1.row(r).iter().zip(a2t.row(c)).map(|(x, y)| x * y).sum();
-            dot * values[i]
+            dot(a1.row(r), a2t.row(c)) * values[i]
         })
         .collect())
 }
@@ -202,6 +245,38 @@ mod tests {
             .iter()
             .all(|&x| x == 0.0));
         assert!(par_sddmm(&s, &Dense::zeros(5, 4), &a).unwrap().is_empty());
+    }
+
+    #[test]
+    fn axpy_is_bit_identical_to_scalar_loop() {
+        // Tiling must not change results: every length, including ragged
+        // tails shorter than a lane block.
+        for n in [0, 1, 7, 8, 9, 16, 33, 64] {
+            let x: Vec<f32> = (0..n)
+                .map(|i| ((i * 37 + 11) as f32 * 1e-2).sin())
+                .collect();
+            let mut tiled: Vec<f32> = (0..n).map(|i| (i as f32 * 0.3).cos()).collect();
+            let mut scalar = tiled.clone();
+            let v = 0.731f32;
+            axpy(&mut tiled, v, &x);
+            for (a, xv) in scalar.iter_mut().zip(&x) {
+                *a += v * *xv;
+            }
+            assert_eq!(tiled, scalar, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn dot_matches_sequential_fold() {
+        for n in [0, 1, 7, 8, 9, 33, 64, 100] {
+            let x: Vec<f32> = (0..n).map(|i| ((i * 13 + 5) as f32 * 1e-2).sin()).collect();
+            let y: Vec<f32> = (0..n).map(|i| ((i * 29 + 3) as f32 * 1e-2).cos()).collect();
+            let seq: f32 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+            let got = dot(&x, &y);
+            // Lane-striped association may differ from the fold in the
+            // last bits only.
+            assert!((got - seq).abs() <= 1e-5 * seq.abs().max(1.0), "n = {n}");
+        }
     }
 
     #[test]

@@ -42,7 +42,7 @@ fn run_mutant(
     sim: &mut GpuSim,
     s: &Hybrid,
     a: &Dense,
-    body: impl Fn(&mut hpsparse_sim::WarpTally, MutantChunk<'_>),
+    body: impl Fn(&mut hpsparse_sim::WarpTally, MutantChunk<'_>) + Sync,
 ) -> Result<SpmmRun, FormatError> {
     check_spmm_dims(s, a)?;
     let nnz = s.nnz();

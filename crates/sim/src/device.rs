@@ -45,6 +45,44 @@ impl Default for CostModel {
     }
 }
 
+/// Which cost-engine implementation executes a launch. All three produce
+/// bit-identical [`LaunchReport`]s — `repro -- fastcheck` asserts it for
+/// every registry kernel — so the selection is purely a host-speed choice.
+///
+/// Resolution per launch (see [`GpuSim::launch_named`]):
+///
+/// | engine      | sink attached | tracer attached | otherwise            |
+/// |-------------|---------------|-----------------|----------------------|
+/// | `Reference` | reference     | reference       | reference            |
+/// | `Batched`   | batched¹      | batched         | batched              |
+/// | `Parallel`  | batched¹      | batched         | parallel             |
+/// | `Auto`      | batched¹      | batched         | parallel at >1 thread, else batched |
+///
+/// ¹ with a sink the tally expands descriptors element-wise regardless, so
+/// the observer sees the exact per-event stream; the parallel engine always
+/// falls back when a sink or tracer is attached so event order and span
+/// placement stay byte-stable.
+///
+/// [`LaunchReport`]: crate::LaunchReport
+/// [`GpuSim::launch_named`]: crate::GpuSim::launch_named
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CostEngine {
+    /// Element-wise descriptor expansion, no memoization: the slow
+    /// differential-testing witness.
+    Reference,
+    /// Sequential fast engine: descriptor batching + warp-signature
+    /// memoization against the live L2.
+    Batched,
+    /// Two-phase within-launch parallelism: sequential capture of probe
+    /// descriptors, set-sharded L2 replay on worker threads, deterministic
+    /// warp-order merge.
+    Parallel,
+    /// Resolve per launch: `Parallel` when profitable and observably safe,
+    /// `Batched` otherwise. The default.
+    #[default]
+    Auto,
+}
+
 /// Static description of a GPU: everything Eq. 3–5 of the paper and the
 /// memory system model need.
 #[derive(Debug, Clone, PartialEq)]

@@ -37,11 +37,11 @@ pub mod profile;
 pub mod sink;
 pub mod tally;
 
-pub use cache::SectorCache;
-pub use device::{CostModel, DeviceSpec};
+pub use cache::{CacheShard, SectorCache, ShardMap};
+pub use device::{CostEngine, CostModel, DeviceSpec};
 pub use interconnect::{LinkKind, LinkSpec, LinkTimeline, TransferDescriptor};
 pub use launch::{GpuSim, LaunchConfig, LaunchReport};
 pub use memory::{Buffer, MemorySpace, SECTOR_BYTES};
 pub use occupancy::{occupancy_of, tail_stretch, KernelResources, Occupancy};
 pub use sink::{AccessEvent, AccessKind, AccessSink, BufferDecl, BufferRole};
-pub use tally::{WarpCounters, WarpTally};
+pub use tally::{ProbeLog, ProbeOp, WarpCounters, WarpTally};

@@ -1,0 +1,126 @@
+//! Property tests for the parallel engine's exactness argument: replaying
+//! a probe stream shard-by-shard against set-sharded cache views, each
+//! shard's stream in global order, must reproduce the sequential
+//! [`SectorCache`] bit-for-bit — per-probe hit results, hit/miss totals,
+//! and the tag state left behind. This is the invariant that lets the
+//! parallel launch engine replay shards on worker threads in any
+//! interleaving while every reported number stays identical.
+
+use hpsparse_sim::{ProbeLog, ProbeOp, SectorCache, WarpTally};
+use proptest::prelude::*;
+
+/// Both probe dispatch shapes: the 16-way L2-shaped geometry takes the
+/// branchless probe, the 4-way geometry the generic scan.
+fn cache_for(assoc_sel: u32) -> SectorCache {
+    match assoc_sel {
+        0 => SectorCache::new(64 * 1024, 16),
+        _ => SectorCache::new(8 * 1024, 4),
+    }
+}
+
+/// One generated probe: a run of `len` sectors starting at `sector`
+/// (single-sector probes are just `len == 1`).
+#[derive(Debug, Clone, Copy)]
+struct Run {
+    sector: u64,
+    len: u64,
+}
+
+fn runs() -> impl Strategy<Value = Vec<Run>> {
+    proptest::collection::vec(
+        (0u64..8_192, 1u64..48).prop_map(|(sector, len)| Run { sector, len }),
+        1..160,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Sharded replay in global order ≡ the sequential cache: same
+    /// per-probe hit counts, same hit/miss totals, same tag state (probed
+    /// via an identical tail stream after the fact).
+    #[test]
+    fn sharded_replay_matches_sequential(
+        stream in runs(),
+        tail in runs(),
+        (assoc_sel, want) in (0u32..2, 1usize..33),
+    ) {
+        let mut seq = cache_for(assoc_sel);
+        let mut shd = cache_for(assoc_sel);
+        let map = shd.shard_map(want);
+
+        // Sequential: every run straight at the cache, in order.
+        let seq_hits: Vec<u64> = stream.iter().map(|r| seq.access_run(r.sector, r.len)).collect();
+
+        // Sharded: bucket each run by shard (splitting at shard
+        // boundaries exactly as the capture path does), then replay each
+        // bucket against its view — buckets in arbitrary order, each
+        // bucket internally in stream order. Per-run hits are re-joined
+        // from the per-shard results by stream index.
+        let mut buckets: Vec<Vec<(usize, u64, u64)>> = vec![Vec::new(); map.num_shards()];
+        for (i, r) in stream.iter().enumerate() {
+            map.for_each_segment(r.sector, r.len, |shard, first, n| {
+                buckets[shard].push((i, first, n));
+            });
+        }
+        let mut shd_hits = vec![0u64; stream.len()];
+        let mut views = shd.shard_views(&map);
+        // Deliberately replay shards in reverse order: shard independence
+        // means any shard order must give the same result.
+        for (s, view) in views.iter_mut().enumerate().rev() {
+            for &(i, first, n) in &buckets[s] {
+                shd_hits[i] += view.access_run(first, n);
+            }
+        }
+        let stats: Vec<(u64, u64)> = views.iter().map(|v| v.stats()).collect();
+        drop(views);
+        for (h, m) in stats {
+            shd.absorb_shard_stats(h, m);
+        }
+
+        prop_assert_eq!(&shd_hits, &seq_hits);
+        prop_assert_eq!(shd.hits(), seq.hits());
+        prop_assert_eq!(shd.misses(), seq.misses());
+
+        // Tag-state equality: an identical tail stream must see identical
+        // hits on both caches.
+        for r in &tail {
+            prop_assert_eq!(shd.access_run(r.sector, r.len), seq.access_run(r.sector, r.len));
+        }
+    }
+
+    /// The capture path splits runs at shard boundaries without losing or
+    /// reordering sectors: replaying a [`WarpTally::capturing`] log visits
+    /// exactly the sequential sector stream per shard.
+    #[test]
+    fn capture_log_preserves_per_shard_order(
+        stream in runs(),
+        want in 1usize..17,
+    ) {
+        let cache = cache_for(0);
+        let map = cache.shard_map(want);
+        let mut tally = WarpTally::capturing(map, 32);
+        tally.set_warp(0);
+        tally.set_capture_rel(0);
+        for r in &stream {
+            tally.global_read(r.sector * 32, r.len * 32, 1);
+        }
+        let _ = tally.take_counters();
+        let log = tally.take_capture_log(ProbeLog::new(map));
+
+        // Expected per-shard sector sequences from the raw stream.
+        let mut expect: Vec<Vec<u64>> = vec![Vec::new(); map.num_shards()];
+        for r in &stream {
+            for s in r.sector..r.sector + r.len {
+                expect[map.shard_of_sector(s)].push(s);
+            }
+        }
+        for (shard, want_sectors) in expect.iter().enumerate() {
+            let mut got = Vec::new();
+            for &ProbeOp { first_sector, n, .. } in log.shard_ops(shard) {
+                got.extend(first_sector..first_sector + n as u64);
+            }
+            prop_assert_eq!(&got, want_sectors, "shard {}", shard);
+        }
+    }
+}
