@@ -22,6 +22,7 @@
 //!   table5   end-to-end GNN training
 //!   autotune kernel-planner evaluation: oracle match + plan cache (extension)
 //!   sanitize memcheck/racecheck/initcheck sweep over every registry kernel
+//!   verify   static bounds/race/init verification; non-proved kernels escalate
 //!   fastcheck differential test: fast vs reference cost engine
 //!   formats  §II storage-format comparison
 //!   profile  Nsight-style kernel profiles on Flickr
@@ -317,8 +318,8 @@ fn usage(err: &str) -> ! {
         "usage: repro [--quick|--full] [--json DIR] [--trace FILE] [--metrics FILE]\n\
          \x20            [--selftime-baseline FILE] [--selftime-tolerance F] <experiment>...\n\
          experiments: fig9 fig9a30 fig10 table3 table4 tcgnn reorder fig11 \
-         fig12 fig13 alpha futurework bell fused table5 autotune sanitize fastcheck formats \
-         profile datasets serve all selftime\n\
+         fig12 fig13 alpha futurework bell fused table5 autotune sanitize verify fastcheck \
+         formats profile datasets serve all selftime\n\
          run `repro list` for one-line summaries"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

@@ -18,6 +18,7 @@ pub mod selftime;
 pub mod serve;
 pub mod summary;
 pub mod variance;
+pub mod verify;
 
 /// A rendered experiment: human-readable text plus machine-readable JSON.
 pub struct ExperimentOutput {
@@ -70,8 +71,9 @@ pub const DEFAULT_K: usize = 64;
 
 /// Experiment catalog: every dispatchable name with a one-line summary,
 /// in `repro list` order. `all` and `selftime` are meta-modes the `repro`
-/// binary expands itself; `serve` is dispatchable but stays out of
-/// [`ALL_EXPERIMENTS`] (and thus out of `selftime`'s committed baseline).
+/// binary expands itself; `serve` and `verify` are dispatchable but stay
+/// out of [`ALL_EXPERIMENTS`] (and thus out of `selftime`'s committed
+/// baseline).
 pub const CATALOG: &[(&str, &str)] = &[
     ("formats", "§II storage-format comparison"),
     ("fig9", "kernel benchmarks, full-graph dataset (V100)"),
@@ -103,6 +105,10 @@ pub const CATALOG: &[(&str, &str)] = &[
     (
         "sanitize",
         "memcheck/racecheck/initcheck sweep over every kernel",
+    ),
+    (
+        "verify",
+        "static bounds/race/init verification with a prove-or-escalate gate",
     ),
     (
         "fastcheck",
@@ -176,6 +182,7 @@ pub fn dispatch(name: &str, effort: Effort) -> Option<ExperimentOutput> {
         "table5" => endtoend::run(effort),
         "autotune" => autotune::run(&DeviceSpec::v100(), effort, k),
         "sanitize" => sanitize::run(&DeviceSpec::v100(), effort),
+        "verify" => verify::run(&DeviceSpec::v100(), effort),
         "formats" => formats::run(effort, k),
         "fastcheck" => fastcheck::run(&DeviceSpec::v100(), effort),
         "profile" => kernel_profile::run(effort, k),

@@ -8,10 +8,14 @@
 //! panel.
 
 use crate::baselines::common::{
-    host_pass_report, merge_reports, run_row_warp_spmm, split_row_tasks, RowWarpSpec,
+    emit_row_warp_launch, host_pass_report, merge_reports, run_row_warp_spmm, split_row_tasks,
+    RowTaskKind, RowWarpSpec,
 };
 use crate::traits::{check_spmm_dims, SpmmKernel, SpmmRun};
-use hpsparse_sim::{GpuSim, KernelResources, LaunchConfig};
+use hpsparse_sim::{
+    Distinct, GpuSim, KernelResources, LaunchConfig, PlanBuilder, SymBufferRole, SymExpr,
+    SymbolicPlan,
+};
 use hpsparse_sparse::{Dense, FormatError, Hybrid};
 
 /// ASpT: adaptive 2-D tiling with dense/sparse panel split.
@@ -24,6 +28,18 @@ pub struct Aspt {
 impl Default for Aspt {
     fn default() -> Self {
         Self { panel_rows: 256 }
+    }
+}
+
+impl Aspt {
+    fn spec() -> RowWarpSpec {
+        RowWarpSpec {
+            vector_width: 2,
+            shared_tile: true,
+            registers_per_thread: 40,
+            shared_mem_per_block: 4 * 32 * 4 * 8,
+            ..Default::default()
+        }
     }
 }
 
@@ -80,19 +96,55 @@ impl SpmmKernel for Aspt {
         // Execution: panel-bounded row segments with shared-memory reuse
         // and moderately vectorized loads.
         let tasks = split_row_tasks(&csr, self.panel_rows);
-        let spec = RowWarpSpec {
-            vector_width: 2,
-            shared_tile: true,
-            registers_per_thread: 40,
-            shared_mem_per_block: 4 * 32 * 4 * 8,
-            ..Default::default()
-        };
+        let spec = Self::spec();
         let (output, report) = run_row_warp_spmm(self.name(), sim, &csr, a, &tasks, &spec);
         Ok(SpmmRun {
             output,
             report,
             preprocess: Some(preprocess),
         })
+    }
+
+    fn symbolic_plans(&self) -> Vec<SymbolicPlan> {
+        let mut b = PlanBuilder::new(self.name(), &format!("panel={}", self.panel_rows));
+        let m = b.param("m", 1);
+        let n = b.param("n", 1);
+        let nnz = b.param("nnz", 1);
+        let k = b.param("k", 1);
+        let total = nnz.clone() * SymExpr::Const(2);
+        let src = b.buffer("csr_arrays", SymBufferRole::Input, total.clone());
+        let dst = b.buffer("panel_arrays", SymBufferRole::Scratch, total.clone());
+
+        let mut l = b.launch("rewrite");
+        let w = l.axis("w", nnz.clone().ceil_div(32));
+        let base = w * SymExpr::Const(32);
+        let lanes = SymExpr::Const(32).min(total.clone() - base.clone());
+        l.read(src, base, lanes.clone());
+        // The scatter stride is coprime with the element count, so the
+        // permuted positions are globally collision-free.
+        l.begin_for("lane", lanes);
+        let p = l.data(
+            "p",
+            SymExpr::Const(0),
+            total - SymExpr::Const(1),
+            Distinct::Global,
+            0,
+        );
+        l.write(dst, p, 1);
+        l.end_for();
+        l.done();
+
+        emit_row_warp_launch(
+            &mut b,
+            "exec",
+            &Self::spec(),
+            RowTaskKind::Split,
+            &m,
+            &n,
+            &nnz,
+            &k,
+        );
+        vec![b.build()]
     }
 }
 

@@ -7,25 +7,20 @@
 //! directly from the degree distribution, which is why the paper's Fig. 12
 //! correlates HP-SpMM's speedup over GE-SpMM with degree variance.
 
-use crate::baselines::common::{run_row_warp_spmm, whole_row_tasks, RowWarpSpec};
+use crate::baselines::common::{
+    row_warp_symbolic_plan, run_row_warp_spmm, whole_row_tasks, RowTaskKind, RowWarpSpec,
+};
 use crate::traits::{check_spmm_dims, SpmmKernel, SpmmRun};
-use hpsparse_sim::GpuSim;
+use hpsparse_sim::{GpuSim, SymbolicPlan};
 use hpsparse_sparse::{Dense, FormatError, Hybrid};
 
 /// GE-SpMM: node-parallel SpMM with shared-memory sparse-data reuse.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct GeSpmm;
 
-impl SpmmKernel for GeSpmm {
-    fn name(&self) -> &'static str {
-        "GE-SpMM"
-    }
-
-    fn run_on(&self, sim: &mut GpuSim, s: &Hybrid, a: &Dense) -> Result<SpmmRun, FormatError> {
-        check_spmm_dims(s, a)?;
-        let csr = s.to_csr();
-        let tasks = whole_row_tasks(&csr, None);
-        let spec = RowWarpSpec {
+impl GeSpmm {
+    fn spec() -> RowWarpSpec {
+        RowWarpSpec {
             vector_width: 1,
             shared_tile: true,
             // GE-SpMM's coarsening: each thread keeps two accumulators and
@@ -37,13 +32,34 @@ impl SpmmKernel for GeSpmm {
             registers_per_thread: 24,
             shared_mem_per_block: 2 * 32 * 4 * 8,
             ..Default::default()
-        };
+        }
+    }
+}
+
+impl SpmmKernel for GeSpmm {
+    fn name(&self) -> &'static str {
+        "GE-SpMM"
+    }
+
+    fn run_on(&self, sim: &mut GpuSim, s: &Hybrid, a: &Dense) -> Result<SpmmRun, FormatError> {
+        check_spmm_dims(s, a)?;
+        let csr = s.to_csr();
+        let tasks = whole_row_tasks(&csr, None);
+        let spec = Self::spec();
         let (output, report) = run_row_warp_spmm(self.name(), sim, &csr, a, &tasks, &spec);
         Ok(SpmmRun {
             output,
             report,
             preprocess: None,
         })
+    }
+
+    fn symbolic_plans(&self) -> Vec<SymbolicPlan> {
+        vec![row_warp_symbolic_plan(
+            self.name(),
+            &Self::spec(),
+            RowTaskKind::Whole,
+        )]
     }
 }
 

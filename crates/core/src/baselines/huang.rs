@@ -7,9 +7,12 @@
 //! pass itself — the slowest preprocessing in the paper's Table IV
 //! (73 ms on AM, 28× its own execution time).
 
-use crate::baselines::common::{host_pass_report, run_row_warp_spmm, split_row_tasks, RowWarpSpec};
+use crate::baselines::common::{
+    host_pass_report, row_warp_symbolic_plan, run_row_warp_spmm, split_row_tasks, RowTaskKind,
+    RowWarpSpec,
+};
 use crate::traits::{check_spmm_dims, SpmmKernel, SpmmRun};
-use hpsparse_sim::GpuSim;
+use hpsparse_sim::{GpuSim, SymbolicPlan};
 use hpsparse_sparse::{Dense, FormatError, Hybrid};
 
 /// Huang's neighbour-grouping SpMM.
@@ -22,6 +25,18 @@ pub struct Huang {
 impl Default for Huang {
     fn default() -> Self {
         Self { group_size: 32 }
+    }
+}
+
+impl Huang {
+    fn spec() -> RowWarpSpec {
+        RowWarpSpec {
+            vector_width: 1,
+            shared_tile: true,
+            registers_per_thread: 30,
+            shared_mem_per_block: 2 * 32 * 4 * 8,
+            ..Default::default()
+        }
     }
 }
 
@@ -38,19 +53,21 @@ impl SpmmKernel for Huang {
         // implementation.
         let preprocess = host_pass_report(sim.device(), s.nnz() as u64, 14.0);
         let tasks = split_row_tasks(&csr, self.group_size);
-        let spec = RowWarpSpec {
-            vector_width: 1,
-            shared_tile: true,
-            registers_per_thread: 30,
-            shared_mem_per_block: 2 * 32 * 4 * 8,
-            ..Default::default()
-        };
+        let spec = Self::spec();
         let (output, report) = run_row_warp_spmm(self.name(), sim, &csr, a, &tasks, &spec);
         Ok(SpmmRun {
             output,
             report,
             preprocess: Some(preprocess),
         })
+    }
+
+    fn symbolic_plans(&self) -> Vec<SymbolicPlan> {
+        vec![row_warp_symbolic_plan(
+            self.name(),
+            &Self::spec(),
+            RowTaskKind::Split,
+        )]
     }
 }
 

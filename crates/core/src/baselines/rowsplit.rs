@@ -5,14 +5,28 @@
 //! shared-memory staging and — the decisive weakness on feature matrices —
 //! per-lane scattered feature reads rather than warp-coalesced row loads.
 
-use crate::baselines::common::{run_row_warp_spmm, whole_row_tasks, RowWarpSpec};
+use crate::baselines::common::{
+    row_warp_symbolic_plan, run_row_warp_spmm, whole_row_tasks, RowTaskKind, RowWarpSpec,
+};
 use crate::traits::{check_spmm_dims, SpmmKernel, SpmmRun};
-use hpsparse_sim::GpuSim;
+use hpsparse_sim::{GpuSim, SymbolicPlan};
 use hpsparse_sparse::{Dense, FormatError, Hybrid};
 
 /// Row-split: row-per-warp SpMM with uncoalesced feature access.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RowSplit;
+
+impl RowSplit {
+    fn spec() -> RowWarpSpec {
+        RowWarpSpec {
+            vector_width: 1,
+            shared_tile: false,
+            gather_features: true,
+            registers_per_thread: 28,
+            ..Default::default()
+        }
+    }
+}
 
 impl SpmmKernel for RowSplit {
     fn name(&self) -> &'static str {
@@ -23,19 +37,21 @@ impl SpmmKernel for RowSplit {
         check_spmm_dims(s, a)?;
         let csr = s.to_csr();
         let tasks = whole_row_tasks(&csr, None);
-        let spec = RowWarpSpec {
-            vector_width: 1,
-            shared_tile: false,
-            gather_features: true,
-            registers_per_thread: 28,
-            ..Default::default()
-        };
+        let spec = Self::spec();
         let (output, report) = run_row_warp_spmm(self.name(), sim, &csr, a, &tasks, &spec);
         Ok(SpmmRun {
             output,
             report,
             preprocess: None,
         })
+    }
+
+    fn symbolic_plans(&self) -> Vec<SymbolicPlan> {
+        vec![row_warp_symbolic_plan(
+            self.name(),
+            &Self::spec(),
+            RowTaskKind::Whole,
+        )]
     }
 }
 

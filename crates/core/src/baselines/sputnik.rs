@@ -8,9 +8,12 @@
 //! graph-sampling training — both effects the paper measures (Table IV:
 //! preprocessing up to 26× execution on AM).
 
-use crate::baselines::common::{host_pass_report, run_row_warp_spmm, whole_row_tasks, RowWarpSpec};
+use crate::baselines::common::{
+    host_pass_report, row_warp_symbolic_plan, run_row_warp_spmm, whole_row_tasks, RowTaskKind,
+    RowWarpSpec,
+};
 use crate::traits::{check_spmm_dims, SpmmKernel, SpmmRun};
-use hpsparse_sim::GpuSim;
+use hpsparse_sim::{GpuSim, SymbolicPlan};
 use hpsparse_sparse::{Dense, FormatError, Hybrid};
 
 /// Sputnik: 1-D tiled SpMM with row-sorting preprocessing.
@@ -23,6 +26,18 @@ pub struct Sputnik {
 impl Default for Sputnik {
     fn default() -> Self {
         Self { tile: 64 }
+    }
+}
+
+impl Sputnik {
+    fn spec(&self) -> RowWarpSpec {
+        RowWarpSpec {
+            vector_width: 4,
+            shared_tile: false,
+            element_tile: self.tile,
+            registers_per_thread: 48,
+            ..Default::default()
+        }
     }
 }
 
@@ -45,19 +60,23 @@ impl SpmmKernel for Sputnik {
         let preprocess = host_pass_report(sim.device(), m as u64 * log_m, 3.0);
 
         let tasks = whole_row_tasks(&csr, Some(&order));
-        let spec = RowWarpSpec {
-            vector_width: 4,
-            shared_tile: false,
-            element_tile: self.tile,
-            registers_per_thread: 48,
-            ..Default::default()
-        };
+        let spec = self.spec();
         let (output, report) = run_row_warp_spmm(self.name(), sim, &csr, a, &tasks, &spec);
         Ok(SpmmRun {
             output,
             report,
             preprocess: Some(preprocess),
         })
+    }
+
+    fn symbolic_plans(&self) -> Vec<SymbolicPlan> {
+        // The row sort is a permutation: each task still owns a distinct
+        // row, so the plan shape is the plain whole-row one.
+        vec![row_warp_symbolic_plan(
+            self.name(),
+            &self.spec(),
+            RowTaskKind::Whole,
+        )]
     }
 }
 

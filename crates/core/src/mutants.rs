@@ -18,7 +18,10 @@
 //! only callers.
 
 use crate::traits::{check_spmm_dims, SpmmKernel, SpmmRun};
-use hpsparse_sim::{GpuSim, KernelResources, LaunchConfig};
+use hpsparse_sim::{
+    cond_le, Distinct, GpuSim, KernelResources, LaunchConfig, PlanBuilder, SymBufferRole, SymExpr,
+    SymbolicPlan,
+};
 use hpsparse_sparse::{reference, Dense, FormatError, Hybrid};
 
 /// Elements each warp owns in the mutants' COO loop — small, so modest
@@ -91,6 +94,58 @@ fn run_mutant(
     })
 }
 
+/// Symbolic counterparts of [`MutantChunk`]'s fields, for the mutants'
+/// plan emitters.
+struct MutantSym {
+    m: SymExpr,
+    nnz: SymExpr,
+    k: SymExpr,
+    start: SymExpr,
+    len: SymExpr,
+    row_buf: usize,
+    col_buf: usize,
+    val_buf: usize,
+    o_buf: usize,
+}
+
+/// Shared symbolic skeleton mirroring [`run_mutant`]: the HP buffer set
+/// and the per-chunk element slice; `body` emits the (deliberately buggy)
+/// traffic of one warp.
+fn mutant_plan(
+    name: &str,
+    body: impl FnOnce(&mut hpsparse_sim::LaunchBuilder<'_>, &MutantSym),
+) -> SymbolicPlan {
+    let npw = NNZ_PER_WARP as i64;
+    let mut b = PlanBuilder::new(name, &format!("npw={npw}"));
+    let m = b.param("m", 1);
+    let n = b.param("n", 1);
+    let nnz = b.param("nnz", 1);
+    let k = b.param("k", 1);
+    let row_buf = b.buffer("row_ind", SymBufferRole::Input, nnz.clone());
+    let col_buf = b.buffer("col_ind", SymBufferRole::Input, nnz.clone());
+    let val_buf = b.buffer("values", SymBufferRole::Input, nnz.clone());
+    b.buffer("A", SymBufferRole::Input, n * k.clone());
+    let o_buf = b.buffer("O", SymBufferRole::Output, m.clone() * k.clone());
+    let mut l = b.launch(name);
+    let chunk = l.axis("chunk", nnz.clone().ceil_div(npw));
+    let start = chunk * SymExpr::Const(npw);
+    let len = SymExpr::Const(npw).min(nnz.clone() - start.clone());
+    let syms = MutantSym {
+        m,
+        nnz,
+        k,
+        start,
+        len,
+        row_buf,
+        col_buf,
+        val_buf,
+        o_buf,
+    };
+    body(&mut l, &syms);
+    l.done();
+    b.build()
+}
+
 /// One warp's slice of the COO element range, plus the buffers the hooks
 /// describe traffic against.
 struct MutantChunk<'a> {
@@ -131,6 +186,38 @@ impl SpmmKernel for MutantOobTail {
             tally.global_atomic(c.o_buf.elem_addr((r * c.k) as u64, 4), c.k as u64 * 4);
         })
     }
+
+    fn symbolic_plans(&self) -> Vec<SymbolicPlan> {
+        vec![mutant_plan(self.name(), |l, s| {
+            l.read(s.row_buf, s.start.clone(), s.len.clone());
+            l.begin_cases();
+            // The last chunk (the one whose tail the matrix ends in) reads
+            // one element too many — the seeded off-by-one.
+            l.begin_arm(Some(cond_le(
+                s.nnz.clone() - s.start.clone(),
+                NNZ_PER_WARP as i64,
+            )));
+            l.read(
+                s.col_buf,
+                s.start.clone(),
+                s.len.clone() + SymExpr::Const(1),
+            );
+            l.end_arm();
+            l.begin_arm(None);
+            l.read(s.col_buf, s.start.clone(), s.len.clone());
+            l.end_arm();
+            l.end_cases();
+            l.read(s.val_buf, s.start.clone(), s.len.clone());
+            let r = l.data(
+                "r",
+                SymExpr::Const(0),
+                s.m.clone() - SymExpr::Const(1),
+                Distinct::No,
+                0,
+            );
+            l.atomic(s.o_buf, r * s.k.clone(), s.k.clone());
+        })]
+    }
 }
 
 /// Racecheck mutant: the de-atomicized COO tail. Chunk boundaries split
@@ -164,6 +251,24 @@ impl SpmmKernel for MutantRacyTail {
             }
         })
     }
+
+    fn symbolic_plans(&self) -> Vec<SymbolicPlan> {
+        vec![mutant_plan(self.name(), |l, s| {
+            for buf in [s.row_buf, s.col_buf, s.val_buf] {
+                l.read(buf, s.start.clone(), s.len.clone());
+            }
+            // The seeded race: a plain store to a row nothing marks as
+            // exclusive to this warp.
+            let r = l.data(
+                "r",
+                SymExpr::Const(0),
+                s.m.clone() - SymExpr::Const(1),
+                Distinct::No,
+                0,
+            );
+            l.write(s.o_buf, r * s.k.clone(), s.k.clone());
+        })]
+    }
 }
 
 /// Initcheck mutant: read-modify-write accumulation. Instead of
@@ -191,6 +296,24 @@ impl SpmmKernel for MutantUninitAcc {
             tally.global_read(row_addr, c.k as u64 * 4, 1);
             tally.global_atomic(row_addr, c.k as u64 * 4);
         })
+    }
+
+    fn symbolic_plans(&self) -> Vec<SymbolicPlan> {
+        vec![mutant_plan(self.name(), |l, s| {
+            for buf in [s.row_buf, s.col_buf, s.val_buf] {
+                l.read(buf, s.start.clone(), s.len.clone());
+            }
+            let r = l.data(
+                "r",
+                SymExpr::Const(0),
+                s.m.clone() - SymExpr::Const(1),
+                Distinct::No,
+                0,
+            );
+            // The seeded uninitialised read: O has no prior-launch store.
+            l.read(s.o_buf, r.clone() * s.k.clone(), s.k.clone());
+            l.atomic(s.o_buf, r * s.k.clone(), s.k.clone());
+        })]
     }
 }
 

@@ -1,6 +1,6 @@
 //! Kernel interfaces shared by HP kernels and all baselines.
 
-use hpsparse_sim::{DeviceSpec, GpuSim, LaunchReport};
+use hpsparse_sim::{DeviceSpec, GpuSim, LaunchReport, SymbolicPlan};
 use hpsparse_sparse::{Dense, FormatError, Hybrid};
 
 /// Result of running an SpMM kernel on the simulator.
@@ -70,6 +70,16 @@ pub trait SpmmKernel: Send + Sync {
         let mut sim = GpuSim::new(device.clone());
         self.run_on(&mut sim, s, a)
     }
+
+    /// Symbolic descriptor plans for `hpsparse-verify`, one per
+    /// configuration the kernel may pick at runtime (e.g. a runtime-`K`
+    /// vector-width switch emits one plan per width). The kernel's concrete
+    /// configuration is baked in; the problem shape stays symbolic. An
+    /// empty vector means the kernel has no symbolic model yet and the
+    /// verifier reports `Unknown` (escalating to the dynamic sanitizer).
+    fn symbolic_plans(&self) -> Vec<SymbolicPlan> {
+        Vec::new()
+    }
 }
 
 /// A simulated SDDMM kernel: computes `S_O = (A1 · A2) ⊙ S`. `a1` is
@@ -100,6 +110,12 @@ pub trait SddmmKernel: Send + Sync {
     ) -> Result<SddmmRun, FormatError> {
         let mut sim = GpuSim::new(device.clone());
         self.run_on(&mut sim, s, a1, a2t)
+    }
+
+    /// Symbolic descriptor plans for `hpsparse-verify`; see
+    /// [`SpmmKernel::symbolic_plans`].
+    fn symbolic_plans(&self) -> Vec<SymbolicPlan> {
+        Vec::new()
     }
 }
 

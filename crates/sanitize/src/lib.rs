@@ -54,6 +54,15 @@
 //!   so partition-then-execute pipelines check cleanly while a kernel
 //!   reading its own output buffer before any store is flagged.
 //!
+//! # Relationship to the static verifier
+//!
+//! `hpsparse-verify` proves the same three properties *statically* from a
+//! kernel's symbolic plan, and the `repro -- verify` gate only escalates
+//! kernels it cannot fully prove. For those — every `Unknown` verdict —
+//! the dynamic sanitizer remains the authority: a static `Unknown` says
+//! nothing about the kernel, only about the prover. [`sanitize_run`] is
+//! the escalation entry point.
+//!
 //! [`Input`]: hpsparse_sim::BufferRole::Input
 
 #![forbid(unsafe_code)]
@@ -115,6 +124,21 @@ impl Sanitizer {
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
         self.inner.lock().expect("sanitizer state poisoned")
     }
+}
+
+/// Runs `f` on a fresh simulator with a sanitizer attached and returns
+/// the verdict — the one-shot escalation entry point for callers (such as
+/// the `repro -- verify` gate) that need a dynamic check of a single
+/// kernel invocation without managing sink lifetimes themselves.
+pub fn sanitize_run(
+    device: hpsparse_sim::DeviceSpec,
+    f: impl FnOnce(&mut hpsparse_sim::GpuSim),
+) -> Report {
+    let sanitizer = Sanitizer::new();
+    let mut sim = hpsparse_sim::GpuSim::new(device);
+    sim.attach_sink(sanitizer.sink());
+    f(&mut sim);
+    sanitizer.report()
 }
 
 /// The [`AccessSink`] half: forwards the simulator's stream into the

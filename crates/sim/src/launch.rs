@@ -146,6 +146,11 @@ impl LaunchReport {
             (names::SHUFFLES, self.totals.shuffles as f64, true),
             (names::GLOBAL_BYTES, self.totals.global_bytes as f64, true),
             (names::TRANSACTIONS, self.totals.transactions as f64, true),
+            (
+                names::DESCRIPTOR_FALLBACKS,
+                self.totals.descriptor_fallbacks as f64,
+                true,
+            ),
             (names::L2_SECTORS, self.traffic() as f64, true),
             (
                 names::L2_HIT_SECTORS,

@@ -35,6 +35,7 @@ pub mod memory;
 pub mod occupancy;
 pub mod profile;
 pub mod sink;
+pub mod symbolic;
 pub mod tally;
 
 pub use cache::{CacheShard, SectorCache, ShardMap};
@@ -44,4 +45,8 @@ pub use launch::{GpuSim, LaunchConfig, LaunchReport};
 pub use memory::{Buffer, MemorySpace, SECTOR_BYTES};
 pub use occupancy::{occupancy_of, tail_stretch, KernelResources, Occupancy};
 pub use sink::{AccessEvent, AccessKind, AccessSink, BufferDecl, BufferRole};
+pub use symbolic::{
+    cond_le, Distinct, LaunchBuilder, PlanBuilder, SymAccess, SymAccessKind, SymArm, SymBuffer,
+    SymBufferRole, SymCond, SymExpr, SymLaunch, SymOp, SymbolicPlan, VarDecl, VarId, VarKind,
+};
 pub use tally::{ProbeLog, ProbeOp, WarpCounters, WarpTally};

@@ -1,0 +1,739 @@
+//! Reifiable symbolic form of the access-descriptor IR.
+//!
+//! Kernels normally drive [`crate::WarpTally`] with concrete addresses; this
+//! module lets a kernel emit the *same* descriptor program once with symbolic
+//! parameters (rows, nnz, K, NnzPerWarp, …) instead. The result — a
+//! [`SymbolicPlan`] — is a small first-order program over integer expressions
+//! that `hpsparse-verify` can prove things about (bounds, race-freedom,
+//! init-before-read) for *all* shapes at once, and that an evaluator can
+//! instantiate at any concrete shape to replay element-wise.
+//!
+//! Design points:
+//!
+//! - **Config concrete, shape symbolic.** Emitters bake in the kernel
+//!   instance's concrete configuration (NnzPerWarp, vector width, block shape)
+//!   and keep only the problem shape symbolic. Every [`SymExpr::CeilDiv`]
+//!   divisor is therefore a positive constant, which keeps the prover exact.
+//! - **Element units.** Offsets and lengths are in buffer elements, not
+//!   bytes. The dynamic tally demotes misaligned vector accesses to scalar
+//!   width before emitting events, so the byte-level alignment arm of the
+//!   dynamic memcheck can never fire for descriptor-driven kernels and the
+//!   static model need not track it.
+//! - **Data variables.** Values a kernel loads from graph topology (row ids,
+//!   column ids, CSR offsets) are modelled as bounded free variables, with an
+//!   optional *distinctness* promise ([`Distinct`]) encoding format
+//!   invariants such as "each task maps to a distinct row".
+
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// Identifier of a symbolic variable inside one [`SymbolicPlan`].
+///
+/// Indexes into [`SymbolicPlan::vars`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The variable's index into the plan's declaration table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An integer expression over plan variables.
+///
+/// All arithmetic is exact (mathematical integers); the evaluator uses `i64`
+/// and the shapes handled by the verifier keep every intermediate far from
+/// overflow.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SymExpr {
+    /// A literal constant.
+    Const(i64),
+    /// A reference to a declared variable.
+    Var(VarId),
+    /// Sum of the two operands.
+    Add(Box<SymExpr>, Box<SymExpr>),
+    /// Difference of the two operands.
+    Sub(Box<SymExpr>, Box<SymExpr>),
+    /// Product of the two operands.
+    Mul(Box<SymExpr>, Box<SymExpr>),
+    /// Minimum of the two operands.
+    Min(Box<SymExpr>, Box<SymExpr>),
+    /// Maximum of the two operands.
+    Max(Box<SymExpr>, Box<SymExpr>),
+    /// `ceil(numerator / divisor)` with a *positive constant* divisor.
+    CeilDiv(Box<SymExpr>, i64),
+}
+
+impl From<i64> for SymExpr {
+    fn from(v: i64) -> Self {
+        SymExpr::Const(v)
+    }
+}
+
+impl From<VarId> for SymExpr {
+    fn from(v: VarId) -> Self {
+        SymExpr::Var(v)
+    }
+}
+
+macro_rules! sym_binop {
+    ($trait:ident, $method:ident, $ctor:ident) => {
+        impl<R: Into<SymExpr>> $trait<R> for SymExpr {
+            type Output = SymExpr;
+            fn $method(self, rhs: R) -> SymExpr {
+                SymExpr::$ctor(Box::new(self), Box::new(rhs.into()))
+            }
+        }
+    };
+}
+
+sym_binop!(Add, add, Add);
+sym_binop!(Sub, sub, Sub);
+sym_binop!(Mul, mul, Mul);
+
+impl SymExpr {
+    /// `min(self, other)`.
+    pub fn min(self, other: impl Into<SymExpr>) -> SymExpr {
+        SymExpr::Min(Box::new(self), Box::new(other.into()))
+    }
+
+    /// `max(self, other)`.
+    pub fn max(self, other: impl Into<SymExpr>) -> SymExpr {
+        SymExpr::Max(Box::new(self), Box::new(other.into()))
+    }
+
+    /// `ceil(self / divisor)`; `divisor` must be positive.
+    pub fn ceil_div(self, divisor: i64) -> SymExpr {
+        assert!(divisor > 0, "CeilDiv divisor must be positive");
+        SymExpr::CeilDiv(Box::new(self), divisor)
+    }
+
+    /// Evaluate under a variable assignment.
+    ///
+    /// `lookup` is consulted for every [`SymExpr::Var`] occurrence (it may
+    /// memoize internally; the evaluator in `hpsparse-verify` does).
+    pub fn eval(&self, lookup: &mut dyn FnMut(VarId) -> i64) -> i64 {
+        match self {
+            SymExpr::Const(c) => *c,
+            SymExpr::Var(v) => lookup(*v),
+            SymExpr::Add(a, b) => a.eval(lookup) + b.eval(lookup),
+            SymExpr::Sub(a, b) => a.eval(lookup) - b.eval(lookup),
+            SymExpr::Mul(a, b) => a.eval(lookup) * b.eval(lookup),
+            SymExpr::Min(a, b) => a.eval(lookup).min(b.eval(lookup)),
+            SymExpr::Max(a, b) => a.eval(lookup).max(b.eval(lookup)),
+            SymExpr::CeilDiv(n, d) => {
+                let n = n.eval(lookup);
+                // True ceiling for any sign of the numerator.
+                n.div_euclid(*d) + i64::from(n.rem_euclid(*d) != 0)
+            }
+        }
+    }
+
+    /// Collect every variable referenced by the expression into `out`.
+    pub fn collect_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            SymExpr::Const(_) => {}
+            SymExpr::Var(v) => {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+            SymExpr::Add(a, b) | SymExpr::Sub(a, b) | SymExpr::Mul(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            SymExpr::Min(a, b) | SymExpr::Max(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            SymExpr::CeilDiv(n, _) => n.collect_vars(out),
+        }
+    }
+}
+
+impl fmt::Display for SymExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymExpr::Const(c) => write!(f, "{c}"),
+            SymExpr::Var(v) => write!(f, "v{}", v.0),
+            SymExpr::Add(a, b) => write!(f, "({a} + {b})"),
+            SymExpr::Sub(a, b) => write!(f, "({a} - {b})"),
+            SymExpr::Mul(a, b) => write!(f, "({a} * {b})"),
+            SymExpr::Min(a, b) => write!(f, "min({a}, {b})"),
+            SymExpr::Max(a, b) => write!(f, "max({a}, {b})"),
+            SymExpr::CeilDiv(n, d) => write!(f, "ceil({n} / {d})"),
+        }
+    }
+}
+
+/// Distinctness promise for a [`VarKind::Data`] variable.
+///
+/// Encodes format invariants the verifier may rely on for race-freedom.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Distinct {
+    /// No promise: two instances may see the same value.
+    No,
+    /// The data value is an *injective function* of the named variable:
+    /// instances with equal values of that variable see equal data values,
+    /// and instances with different values see different data values.
+    ///
+    /// This is how "each task owns a distinct row" (CSR `whole_row_tasks`)
+    /// is expressed: the row id is `ByVar(task_axis)`.
+    ByVar(VarId),
+    /// Every dynamic instance of the variable (across all loop iterations
+    /// and warps in the launch) sees a pairwise-distinct value — e.g. a
+    /// permutation index.
+    Global,
+}
+
+/// What a declared variable ranges over.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VarKind {
+    /// A free problem-shape parameter (rows, nnz, K, …).
+    Param,
+    /// A launch axis: the warp id is decomposed into these (axis 0 fastest).
+    Axis {
+        /// Index of the launch this axis belongs to.
+        launch: usize,
+        /// Position within that launch's axis list.
+        dim: usize,
+    },
+    /// A `For` loop counter.
+    Loop,
+    /// A value loaded from input data (row id, column id, CSR offset, …),
+    /// modelled as a bounded free variable.
+    Data {
+        /// Distinctness promise across instances.
+        distinct: Distinct,
+        /// Value-domain tag: `0` is unconstrained; two data variables with
+        /// different *nonzero* domains are promised to draw from disjoint
+        /// value sets (e.g. "rows owned by whole-row tasks" vs "rows owned
+        /// by split tasks").
+        domain: u32,
+    },
+}
+
+/// Declaration of one symbolic variable.
+#[derive(Clone, Debug)]
+pub struct VarDecl {
+    /// Human-readable name (used in counterexamples and reports).
+    pub name: String,
+    /// Role of the variable.
+    pub kind: VarKind,
+    /// Inclusive lower bound. May reference earlier-declared variables.
+    pub lo: SymExpr,
+    /// Inclusive upper bound; `None` means unbounded above (params only).
+    /// May reference earlier-declared variables.
+    pub hi: Option<SymExpr>,
+    /// Optional default value expression used by the evaluator when the
+    /// caller does not pin the variable (derived params like `a_rows = n`).
+    pub def: Option<SymExpr>,
+}
+
+/// Access kind, mirroring the dynamic tally's event kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SymAccessKind {
+    /// Plain load.
+    Read,
+    /// Plain store (scatter counts as a plain store).
+    Write,
+    /// Atomic read-modify-write (counts as a store for init purposes).
+    Atomic,
+}
+
+/// One symbolic memory access: `len` contiguous elements of `buffer`
+/// starting at `offset`.
+#[derive(Clone, Debug)]
+pub struct SymAccess {
+    /// Index into [`SymbolicPlan::buffers`].
+    pub buffer: usize,
+    /// Read / write / atomic.
+    pub kind: SymAccessKind,
+    /// Starting element offset into the buffer.
+    pub offset: SymExpr,
+    /// Number of elements accessed; an evaluation `<= 0` means no access
+    /// (mirrors the tally dropping zero-length events).
+    pub len: SymExpr,
+    /// If set, the kernel guarantees at most one instance per value of this
+    /// variable executes the access (an ownership claim the race checker
+    /// may count as covering that variable).
+    pub exclusive: Option<VarId>,
+}
+
+/// A concrete (shape-level) guard condition: `lhs <= rhs`.
+#[derive(Clone, Debug)]
+pub struct SymCond {
+    /// Left-hand side.
+    pub lhs: SymExpr,
+    /// Right-hand side.
+    pub rhs: SymExpr,
+}
+
+/// One arm of a [`SymOp::Cases`].
+#[derive(Clone, Debug)]
+pub struct SymArm {
+    /// Optional concrete guard; `None` marks a data-dependent arm the
+    /// evaluator picks by strategy and the checker treats as "may execute".
+    pub guard: Option<SymCond>,
+    /// Ops executed when the arm is taken.
+    pub body: Vec<SymOp>,
+}
+
+/// A statement in a warp's symbolic program.
+#[derive(Clone, Debug)]
+pub enum SymOp {
+    /// A memory access.
+    Access(SymAccess),
+    /// A counted loop: `var` ranges over `0 .. count` (count may evaluate
+    /// to `<= 0`, in which case the body never runs).
+    For {
+        /// The loop counter variable.
+        var: VarId,
+        /// Trip count expression.
+        count: SymExpr,
+        /// Loop body.
+        body: Vec<SymOp>,
+    },
+    /// Mutually-exclusive alternatives: exactly one arm executes per
+    /// dynamic instance (the first whose guard holds; unguarded arms are
+    /// data-dependent).
+    Cases(Vec<SymArm>),
+}
+
+/// Role of a buffer, mirroring `GpuSim::alloc_{input,output,scratch}`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SymBufferRole {
+    /// Host-initialised input: reads never need a prior device write.
+    Input,
+    /// Kernel output.
+    Output,
+    /// Device scratch space.
+    Scratch,
+}
+
+/// A declared buffer with a symbolic element count.
+#[derive(Clone, Debug)]
+pub struct SymBuffer {
+    /// Human-readable name (matches the dynamic allocation's label).
+    pub name: String,
+    /// Input / output / scratch.
+    pub role: SymBufferRole,
+    /// Element count.
+    pub len: SymExpr,
+}
+
+/// One symbolic launch: a grid of warps, each executing `ops`.
+///
+/// The warp id decomposes over `axes` with axis 0 fastest:
+/// `warp = a0 + E0 * (a1 + E1 * (a2 + …))` where `Ei` are the `extents`.
+#[derive(Clone, Debug)]
+pub struct SymLaunch {
+    /// Launch label (matches the dynamic `launch_named` name).
+    pub name: String,
+    /// Axis variables, fastest first.
+    pub axes: Vec<VarId>,
+    /// Axis extents, parallel to `axes`.
+    pub extents: Vec<SymExpr>,
+    /// The per-warp program.
+    pub ops: Vec<SymOp>,
+}
+
+/// A complete symbolic kernel plan: variables, buffers, and launches.
+#[derive(Clone, Debug)]
+pub struct SymbolicPlan {
+    /// Kernel name (registry id or display name).
+    pub kernel: String,
+    /// Configuration variant label (e.g. `npw=64,vw=2`); empty when the
+    /// kernel has a single canonical configuration.
+    pub variant: String,
+    /// Variable declarations, indexed by [`VarId`].
+    pub vars: Vec<VarDecl>,
+    /// Buffer declarations, indexed by [`SymAccess::buffer`].
+    pub buffers: Vec<SymBuffer>,
+    /// Launches in execution order; stores from launch *i* are visible to
+    /// reads in launch *j > i* (launch-granular visibility, matching the
+    /// dynamic initcheck).
+    pub launches: Vec<SymLaunch>,
+}
+
+impl SymbolicPlan {
+    /// Look up a variable declaration.
+    pub fn var(&self, id: VarId) -> &VarDecl {
+        &self.vars[id.index()]
+    }
+}
+
+/// Builder for a [`SymbolicPlan`].
+///
+/// Declares params and buffers, then one or more launches via
+/// [`PlanBuilder::launch`].
+pub struct PlanBuilder {
+    plan: SymbolicPlan,
+}
+
+impl PlanBuilder {
+    /// Start a plan for `kernel` with the given configuration `variant`
+    /// label (empty string for single-config kernels).
+    pub fn new(kernel: &str, variant: &str) -> Self {
+        PlanBuilder {
+            plan: SymbolicPlan {
+                kernel: kernel.to_string(),
+                variant: variant.to_string(),
+                vars: Vec::new(),
+                buffers: Vec::new(),
+                launches: Vec::new(),
+            },
+        }
+    }
+
+    /// Declare a free shape parameter with inclusive lower bound `lo` and
+    /// no upper bound.
+    pub fn param(&mut self, name: &str, lo: i64) -> SymExpr {
+        self.param_decl(name, lo, None)
+    }
+
+    /// Declare a free shape parameter with a default expression the
+    /// evaluator uses when the shape does not pin it.
+    pub fn param_with_default(&mut self, name: &str, lo: i64, def: SymExpr) -> SymExpr {
+        self.param_decl(name, lo, Some(def))
+    }
+
+    fn param_decl(&mut self, name: &str, lo: i64, def: Option<SymExpr>) -> SymExpr {
+        let id = VarId(self.plan.vars.len() as u32);
+        self.plan.vars.push(VarDecl {
+            name: name.to_string(),
+            kind: VarKind::Param,
+            lo: SymExpr::Const(lo),
+            hi: None,
+            def,
+        });
+        SymExpr::Var(id)
+    }
+
+    /// Declare a buffer; returns its index for use in accesses.
+    pub fn buffer(&mut self, name: &str, role: SymBufferRole, len: SymExpr) -> usize {
+        self.plan.buffers.push(SymBuffer {
+            name: name.to_string(),
+            role,
+            len,
+        });
+        self.plan.buffers.len() - 1
+    }
+
+    /// Open a launch named `name`; finish it with [`LaunchBuilder::done`].
+    pub fn launch(&mut self, name: &str) -> LaunchBuilder<'_> {
+        let launch_idx = self.plan.launches.len();
+        self.plan.launches.push(SymLaunch {
+            name: name.to_string(),
+            axes: Vec::new(),
+            extents: Vec::new(),
+            ops: Vec::new(),
+        });
+        LaunchBuilder {
+            plan: &mut self.plan,
+            launch: launch_idx,
+            frames: vec![Frame::Top],
+        }
+    }
+
+    /// Finish and return the plan.
+    pub fn build(self) -> SymbolicPlan {
+        self.plan
+    }
+}
+
+/// Scope frame inside a launch builder.
+enum Frame {
+    /// Ops append to the launch's top-level body.
+    Top,
+    /// Inside a `For`: ops append to its body.
+    For {
+        var: VarId,
+        count: SymExpr,
+        body: Vec<SymOp>,
+    },
+    /// Inside a `Cases`: finished arms plus the arm currently being built.
+    Cases {
+        arms: Vec<SymArm>,
+        cur_guard: Option<SymCond>,
+        cur_body: Vec<SymOp>,
+        open: bool,
+    },
+}
+
+/// Builder for one [`SymLaunch`], with a scope stack for `For`/`Cases`.
+pub struct LaunchBuilder<'a> {
+    plan: &'a mut SymbolicPlan,
+    launch: usize,
+    frames: Vec<Frame>,
+}
+
+impl LaunchBuilder<'_> {
+    fn new_var(&mut self, name: &str, kind: VarKind, lo: SymExpr, hi: Option<SymExpr>) -> VarId {
+        let id = VarId(self.plan.vars.len() as u32);
+        self.plan.vars.push(VarDecl {
+            name: name.to_string(),
+            kind,
+            lo,
+            hi,
+            def: None,
+        });
+        id
+    }
+
+    /// Declare a launch axis with the given extent. Axes are fastest-first:
+    /// the first declared axis varies fastest as the warp id increments.
+    pub fn axis(&mut self, name: &str, extent: SymExpr) -> SymExpr {
+        let launch = self.launch;
+        let dim = self.plan.launches[launch].axes.len();
+        let hi = extent.clone() - 1;
+        let id = self.new_var(
+            name,
+            VarKind::Axis { launch, dim },
+            SymExpr::Const(0),
+            Some(hi),
+        );
+        self.plan.launches[launch].axes.push(id);
+        self.plan.launches[launch].extents.push(extent);
+        SymExpr::Var(id)
+    }
+
+    /// Declare a data variable (a value the kernel loads from topology)
+    /// with inclusive bounds `[lo, hi]`.
+    pub fn data(
+        &mut self,
+        name: &str,
+        lo: SymExpr,
+        hi: SymExpr,
+        distinct: Distinct,
+        domain: u32,
+    ) -> SymExpr {
+        let id = self.new_var(name, VarKind::Data { distinct, domain }, lo, Some(hi));
+        SymExpr::Var(id)
+    }
+
+    /// Open a `For` loop over `0 .. count`; returns the counter variable.
+    /// Close with [`LaunchBuilder::end_for`].
+    pub fn begin_for(&mut self, name: &str, count: SymExpr) -> SymExpr {
+        let hi = count.clone() - 1;
+        let id = self.new_var(name, VarKind::Loop, SymExpr::Const(0), Some(hi));
+        self.frames.push(Frame::For {
+            var: id,
+            count,
+            body: Vec::new(),
+        });
+        SymExpr::Var(id)
+    }
+
+    /// Close the innermost `For`.
+    pub fn end_for(&mut self) {
+        match self.frames.pop() {
+            Some(Frame::For { var, count, body }) => {
+                self.push_op(SymOp::For { var, count, body });
+            }
+            _ => panic!("end_for without matching begin_for"),
+        }
+    }
+
+    /// Open a `Cases` block. Follow with one or more
+    /// [`LaunchBuilder::begin_arm`]/[`LaunchBuilder::end_arm`] pairs, then
+    /// [`LaunchBuilder::end_cases`].
+    pub fn begin_cases(&mut self) {
+        self.frames.push(Frame::Cases {
+            arms: Vec::new(),
+            cur_guard: None,
+            cur_body: Vec::new(),
+            open: false,
+        });
+    }
+
+    /// Open the next arm; `guard` of `None` marks a data-dependent arm.
+    pub fn begin_arm(&mut self, guard: Option<SymCond>) {
+        match self.frames.last_mut() {
+            Some(Frame::Cases {
+                cur_guard, open, ..
+            }) if !*open => {
+                *cur_guard = guard;
+                *open = true;
+            }
+            _ => panic!("begin_arm outside an open Cases (or arm already open)"),
+        }
+    }
+
+    /// Close the current arm.
+    pub fn end_arm(&mut self) {
+        match self.frames.last_mut() {
+            Some(Frame::Cases {
+                arms,
+                cur_guard,
+                cur_body,
+                open,
+            }) if *open => {
+                arms.push(SymArm {
+                    guard: cur_guard.take(),
+                    body: std::mem::take(cur_body),
+                });
+                *open = false;
+            }
+            _ => panic!("end_arm without an open arm"),
+        }
+    }
+
+    /// Close the `Cases` block.
+    pub fn end_cases(&mut self) {
+        match self.frames.pop() {
+            Some(Frame::Cases { arms, open, .. }) => {
+                assert!(!open, "end_cases with an arm still open");
+                self.push_op(SymOp::Cases(arms));
+            }
+            _ => panic!("end_cases without matching begin_cases"),
+        }
+    }
+
+    fn push_op(&mut self, op: SymOp) {
+        match self.frames.last_mut() {
+            Some(Frame::Top) | None => self.plan.launches[self.launch].ops.push(op),
+            Some(Frame::For { body, .. }) => body.push(op),
+            Some(Frame::Cases { cur_body, open, .. }) => {
+                assert!(*open, "op emitted inside Cases but outside any arm");
+                cur_body.push(op);
+            }
+        }
+    }
+
+    fn access(
+        &mut self,
+        buffer: usize,
+        kind: SymAccessKind,
+        offset: SymExpr,
+        len: SymExpr,
+        exclusive: Option<VarId>,
+    ) {
+        self.push_op(SymOp::Access(SymAccess {
+            buffer,
+            kind,
+            offset,
+            len,
+            exclusive,
+        }));
+    }
+
+    /// Emit a read of `len` elements at `offset`.
+    pub fn read(&mut self, buffer: usize, offset: SymExpr, len: impl Into<SymExpr>) {
+        self.access(buffer, SymAccessKind::Read, offset, len.into(), None);
+    }
+
+    /// Emit a plain write of `len` elements at `offset`.
+    pub fn write(&mut self, buffer: usize, offset: SymExpr, len: impl Into<SymExpr>) {
+        self.access(buffer, SymAccessKind::Write, offset, len.into(), None);
+    }
+
+    /// Emit a plain write with an ownership claim: at most one dynamic
+    /// instance per value of `owner` executes it.
+    pub fn write_excl(
+        &mut self,
+        buffer: usize,
+        offset: SymExpr,
+        len: impl Into<SymExpr>,
+        owner: SymExpr,
+    ) {
+        let owner = match owner {
+            SymExpr::Var(v) => v,
+            other => panic!("write_excl owner must be a plain variable, got {other}"),
+        };
+        self.access(
+            buffer,
+            SymAccessKind::Write,
+            offset,
+            len.into(),
+            Some(owner),
+        );
+    }
+
+    /// Emit an atomic access of `len` elements at `offset`.
+    pub fn atomic(&mut self, buffer: usize, offset: SymExpr, len: impl Into<SymExpr>) {
+        self.access(buffer, SymAccessKind::Atomic, offset, len.into(), None);
+    }
+
+    /// Finish the launch.
+    pub fn done(self) {
+        assert!(
+            matches!(self.frames.as_slice(), [Frame::Top]),
+            "launch finished with unclosed For/Cases scopes"
+        );
+    }
+}
+
+/// Convenience: build `lhs <= rhs`.
+pub fn cond_le(lhs: impl Into<SymExpr>, rhs: impl Into<SymExpr>) -> SymCond {
+    SymCond {
+        lhs: lhs.into(),
+        rhs: rhs.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_eval_and_ceil_div() {
+        let x = SymExpr::Var(VarId(0));
+        let e = (x.clone() * 3 + 5).ceil_div(4).min(x.clone() - 1);
+        let mut lookup = |v: VarId| {
+            assert_eq!(v, VarId(0));
+            7
+        };
+        // ceil(26/4) = 7, min(7, 6) = 6
+        assert_eq!(e.eval(&mut lookup), 6);
+        // Negative numerators still take the true ceiling.
+        let neg = (SymExpr::Const(-5)).ceil_div(4);
+        assert_eq!(neg.eval(&mut |_| 0), -1);
+    }
+
+    #[test]
+    fn builder_produces_nested_structure() {
+        let mut b = PlanBuilder::new("toy", "");
+        let n = b.param("n", 1);
+        let buf = b.buffer("out", SymBufferRole::Output, n.clone());
+        let mut l = b.launch("main");
+        let w = l.axis("w", n.clone().ceil_div(32));
+        let i = l.begin_for("i", SymExpr::Const(32));
+        l.begin_cases();
+        l.begin_arm(Some(cond_le(w.clone() * 32 + i.clone() + 1, n.clone())));
+        l.write(buf, w * 32 + i, 1);
+        l.end_arm();
+        l.begin_arm(None);
+        l.end_arm();
+        l.end_cases();
+        l.end_for();
+        l.done();
+        let plan = b.build();
+        assert_eq!(plan.vars.len(), 3); // n, w, i
+        assert_eq!(plan.launches.len(), 1);
+        let launch = &plan.launches[0];
+        assert_eq!(launch.axes.len(), 1);
+        match &launch.ops[0] {
+            SymOp::For { body, .. } => match &body[0] {
+                SymOp::Cases(arms) => {
+                    assert_eq!(arms.len(), 2);
+                    assert!(arms[0].guard.is_some());
+                    assert!(arms[1].guard.is_none());
+                    assert_eq!(arms[0].body.len(), 1);
+                }
+                other => panic!("expected Cases, got {other:?}"),
+            },
+            other => panic!("expected For, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn collect_vars_dedupes() {
+        let x = SymExpr::Var(VarId(3));
+        let e = x.clone() * 2 + x.clone().max(SymExpr::Const(0));
+        let mut vars = Vec::new();
+        e.collect_vars(&mut vars);
+        assert_eq!(vars, vec![VarId(3)]);
+    }
+}

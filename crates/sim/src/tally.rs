@@ -216,6 +216,13 @@ pub struct WarpCounters {
     pub global_bytes: u64,
     /// Global memory transactions (sector touches, hit or miss).
     pub transactions: u64,
+    /// Descriptor calls whose fast-path precondition failed (non-sector
+    /// stride, multi-sector gather lanes), forcing element-wise expansion.
+    /// Such accesses bypass the descriptor structure the static verifier
+    /// models, so a nonzero count flags a kernel drifting out of the IR.
+    /// Free of cycle cost; engine-independent (reference, batched, capture
+    /// and replay all count the same calls).
+    pub descriptor_fallbacks: u64,
 }
 
 impl WarpCounters {
@@ -239,6 +246,7 @@ impl WarpCounters {
         self.shuffles += other.shuffles;
         self.global_bytes += other.global_bytes;
         self.transactions += other.transactions;
+        self.descriptor_fallbacks += other.descriptor_fallbacks;
     }
 
     /// Total sectors served by L2 (hits + DRAM fetches) — the launch's
@@ -274,6 +282,7 @@ impl serde_json::ToJson for WarpCounters {
             "shuffles": self.shuffles,
             "global_bytes": self.global_bytes,
             "transactions": self.transactions,
+            "descriptor_fallbacks": self.descriptor_fallbacks,
         })
     }
 }
@@ -637,6 +646,12 @@ impl<'a> WarpTally<'a> {
         // class (vw * 4 divides 32), so the per-access instruction count and
         // sector span are uniform and can be hoisted out of the loop.
         let uniform = stride_bytes.is_multiple_of(SECTOR_BYTES as u64);
+        // Precondition failure (not engine choice): counted in every engine
+        // before the expansion decision so reference / batched / capture
+        // agree; replay warps inherit the count from the memo base.
+        if !uniform && count > 0 && len_bytes > 0 && !self.probing() {
+            self.counters.descriptor_fallbacks += 1;
+        }
         if self.expand_elementwise() || !uniform {
             for i in 0..count {
                 one(self, base + i * stride_bytes);
@@ -731,6 +746,9 @@ impl<'a> WarpTally<'a> {
         // The sorted fast path needs each lane access to stay inside one
         // sector: 4-byte-aligned addresses of at most 4 bytes.
         let single_sector = base.is_multiple_of(4) && bytes_each > 0 && bytes_each <= 4;
+        if !single_sector && steps > 0 && !indices.is_empty() && !self.probing() {
+            self.counters.descriptor_fallbacks += 1;
+        }
         if self.expand_elementwise() || !single_sector {
             for s in 0..steps {
                 let off = first + s * step_stride;
@@ -996,6 +1014,7 @@ mod tests {
             shuffles: 5,
             global_bytes: 160,
             transactions: 5,
+            descriptor_fallbacks: 2,
         };
         let cost = CostModel::default();
         let expect = 10.0 * cost.issue
@@ -1087,6 +1106,48 @@ mod tests {
         // Multi-sector lanes take the element-wise fallback.
         assert_matches_reference(|t| t.global_gather_stepped(256, &idx, 64, 0, 16, 4, 16));
         assert_matches_reference(|t| t.global_gather_stepped(256, &[], 64, 0, 4, 3, 4));
+    }
+
+    #[test]
+    fn descriptor_fallbacks_count_precondition_failures_only() {
+        let mut cache = mk_cache();
+        let mut t = WarpTally::new(&mut cache, 32);
+        t.global_read_strided(256, 256, 7, 48, 4); // sector stride: fast path
+        assert_eq!(t.counters().descriptor_fallbacks, 0);
+        t.global_read_strided(260, 100, 5, 64, 2); // odd stride: fallback
+        assert_eq!(t.counters().descriptor_fallbacks, 1);
+        t.global_read_strided(260, 100, 0, 64, 2); // no work: not counted
+        t.global_read_strided(260, 100, 5, 0, 2);
+        assert_eq!(t.counters().descriptor_fallbacks, 1);
+        let idx = [17u32, 3, 250];
+        t.global_gather_stepped(256, &idx, 300, 0, 300, 4, 4); // single-sector
+        assert_eq!(t.counters().descriptor_fallbacks, 1);
+        t.global_gather_stepped(256, &idx, 64, 0, 16, 4, 16); // 16B lanes
+        assert_eq!(t.counters().descriptor_fallbacks, 2);
+        t.global_gather_stepped(256, &[], 64, 0, 16, 4, 16); // no lanes
+        assert_eq!(t.counters().descriptor_fallbacks, 2);
+        // Reference mode counts the same calls, so engines agree.
+        let mut ref_cache = mk_cache();
+        let mut r = WarpTally::new(&mut ref_cache, 32);
+        r.set_reference(true);
+        r.global_read_strided(260, 100, 5, 64, 2);
+        r.global_gather_stepped(256, &idx, 64, 0, 16, 4, 16);
+        assert_eq!(r.counters().descriptor_fallbacks, 2);
+    }
+
+    #[test]
+    fn memo_replay_preserves_fallback_count() {
+        let body = |t: &mut WarpTally<'_>| {
+            t.global_read_strided(260, 100, 5, 64, 2); // fallback
+        };
+        let mut cache = mk_cache();
+        let mut t = WarpTally::new(&mut cache, 32);
+        t.begin_memo(9);
+        body(&mut t);
+        assert_eq!(t.take_counters().descriptor_fallbacks, 1);
+        t.begin_memo(9); // replay warp: count comes from the memo base
+        body(&mut t);
+        assert_eq!(t.take_counters().descriptor_fallbacks, 1);
     }
 
     #[test]

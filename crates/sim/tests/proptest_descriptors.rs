@@ -59,7 +59,7 @@ proptest! {
         warm in proptest::collection::vec(0u64..2_048, 0..16),
     ) {
         let (vw, len) = (vw_for(vw_sel), elems * 4);
-        let fast = observe(assoc_sel, false, &warm, |t| {
+        let mut fast = observe(assoc_sel, false, &warm, |t| {
             t.global_read_strided(base, stride, count, len, vw);
             t.global_write_strided(base + 8, stride, count, len, vw);
         });
@@ -71,6 +71,12 @@ proptest! {
                 t.global_write(base + 8 + i * stride, len, vw);
             }
         });
+        // The fallback diagnostic is a descriptor-level counter: the
+        // hand-written loop never increments it. Pin it separately, then
+        // require everything else identical.
+        let expect_fb = if !stride.is_multiple_of(32) && count > 0 && len > 0 { 2 } else { 0 };
+        prop_assert_eq!(fast.0.descriptor_fallbacks, expect_fb);
+        fast.0.descriptor_fallbacks = 0;
         prop_assert_eq!(
             fast, slow,
             "base {} stride {} count {} len {} vw {}", base, stride, count, len, vw
@@ -117,7 +123,7 @@ proptest! {
         warm in proptest::collection::vec(0u64..2_048, 0..16),
     ) {
         let base = 4_096 + base_off;
-        let fast = observe(assoc_sel, false, &warm, |t| {
+        let mut fast = observe(assoc_sel, false, &warm, |t| {
             t.global_gather_stepped(
                 base, &indices, lane_stride, first, step_stride, steps, bytes_each,
             );
@@ -131,6 +137,11 @@ proptest! {
                 );
             }
         });
+        let single_sector = base.is_multiple_of(4) && bytes_each <= 4;
+        let expect_fb =
+            if !single_sector && steps > 0 && !indices.is_empty() { 1 } else { 0 };
+        prop_assert_eq!(fast.0.descriptor_fallbacks, expect_fb);
+        fast.0.descriptor_fallbacks = 0;
         prop_assert_eq!(
             fast, slow,
             "base {} bytes_each {} indices {:?}", base, bytes_each, indices

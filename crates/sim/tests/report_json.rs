@@ -20,6 +20,7 @@ fn sample_counters() -> WarpCounters {
         shuffles: 6,
         global_bytes: 1280,
         transactions: 40,
+        descriptor_fallbacks: 3,
     }
 }
 
@@ -50,7 +51,8 @@ fn warp_counters_json_shape_is_pinned() {
         text,
         "{\"instructions\":100,\"shared_ops\":20,\"l2_hit_sectors\":30,\
          \"dram_sectors\":10,\"atomics\":5,\"shuffles\":6,\
-         \"global_bytes\":1280,\"transactions\":40}"
+         \"global_bytes\":1280,\"transactions\":40,\
+         \"descriptor_fallbacks\":3}"
     );
 }
 
@@ -64,7 +66,8 @@ fn launch_report_json_shape_is_pinned() {
          \"warp_occupancy\":0.5,\"tail_utilization\":0.25,\
          \"totals\":{\"instructions\":100,\"shared_ops\":20,\
          \"l2_hit_sectors\":30,\"dram_sectors\":10,\"atomics\":5,\
-         \"shuffles\":6,\"global_bytes\":1280,\"transactions\":40},\
+         \"shuffles\":6,\"global_bytes\":1280,\"transactions\":40,\
+         \"descriptor_fallbacks\":3},\
          \"l2_hit_rate\":0.75,\"max_warp_cycles\":50.0,\
          \"mean_warp_cycles\":25.0,\"dram_bound_cycles\":100,\
          \"schedule_cycles\":2000,\"derived\":{\"imbalance\":2.0,\
@@ -86,12 +89,12 @@ fn derived_methods_agree_with_the_direct_arithmetic() {
 
 #[test]
 fn metric_values_cover_every_report_field() {
-    // 26 scalar metrics: one per struct field (totals expands to its 8
+    // 27 scalar metrics: one per struct field (totals expands to its 9
     // counters plus the traffic/DRAM-bytes aggregates) plus the derived
     // occupancy/imbalance/bandwidth figures. If a field is added to
     // LaunchReport, this count — and the metric list — must move with it.
     let metrics = sample_report().metric_values();
-    assert_eq!(metrics.len(), 26);
+    assert_eq!(metrics.len(), 27);
     let mut seen = std::collections::BTreeSet::new();
     for (name, value, _) in &metrics {
         assert!(seen.insert(*name), "duplicate metric name {name}");

@@ -56,6 +56,10 @@ pub const SHUFFLES: &str = "smsp__shuffles.sum";
 pub const GLOBAL_BYTES: &str = "sm__global_bytes.sum";
 /// Global memory transactions (counter).
 pub const TRANSACTIONS: &str = "sm__global_transactions.sum";
+/// Descriptor calls that failed their fast-path precondition and expanded
+/// element-wise — a kernel drifting outside the IR the static verifier
+/// models (counter).
+pub const DESCRIPTOR_FALLBACKS: &str = "descriptor_fallbacks";
 
 /// Sectors served by L2 (hits + misses, counter).
 pub const L2_SECTORS: &str = "lts__t_sectors.sum";

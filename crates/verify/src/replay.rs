@@ -1,0 +1,396 @@
+//! Concrete element-wise replay of a symbolic plan.
+//!
+//! The evaluator instantiates a plan at a concrete `(m, n, nnz, k)` shape,
+//! enumerates every warp of every launch, and feeds each access — element by
+//! element — through a miniature sanitizer implementing the same three
+//! judgements as the dynamic one: containment with overrun-vs-wild
+//! attribution, the end-of-launch cross-warp store-overlap sweep, and
+//! launch-granular init-before-read. Replay is the *refutation* half of the
+//! verifier: a violation here is a concrete counterexample (data values are
+//! always drawn within their declared ranges), while a clean replay proves
+//! nothing.
+//!
+//! Data variables have no concrete backing store, so their values come from
+//! a [`DataPolicy`] (range floor or ceiling, with [`Distinct`] promises
+//! honoured under `Floor`), and data-dependent `Cases` arms from an
+//! [`ArmStrategy`]. Guarded arms are only ever eligible when their guard
+//! holds, so guard-carrying mutants refute exactly like their dynamic
+//! counterparts.
+
+use crate::report::{CheckKind, Counterexample, OobKind};
+use hpsparse_sim::{
+    Distinct, SymAccessKind, SymArm, SymBufferRole, SymExpr, SymOp, SymbolicPlan, VarKind,
+};
+use std::collections::{HashMap, HashSet};
+
+/// How data variables are instantiated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DataPolicy {
+    /// Range floor; `ByVar` becomes `lo + v`, `Global` a running counter —
+    /// both clamped into range, preserving the declared promises for the
+    /// plans emitted here.
+    Floor,
+    /// Range ceiling for every data variable.
+    Ceil,
+}
+
+/// How a data-dependent `Cases` arm is picked among the eligible ones.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArmStrategy {
+    /// Rotate by warp id (`warp % eligible`).
+    ByWarp,
+    /// Always the first eligible arm.
+    First,
+    /// Always the last eligible arm.
+    Last,
+}
+
+/// All replayed policy/strategy combinations.
+pub const POLICIES: [DataPolicy; 2] = [DataPolicy::Floor, DataPolicy::Ceil];
+/// See [`POLICIES`].
+pub const STRATEGIES: [ArmStrategy; 3] =
+    [ArmStrategy::ByWarp, ArmStrategy::First, ArmStrategy::Last];
+
+/// The witness shapes replay instantiates; the first matches the mutant
+/// acceptance graph used by the dynamic sanitizer suite.
+pub const SHAPES: [(i64, i64, i64, i64); 3] = [(10, 50, 1000, 32), (4, 8, 40, 8), (3, 5, 17, 4)];
+
+const MAX_WARPS_PER_LAUNCH: u64 = 4096;
+const MAX_EVENTS: u64 = 2_000_000;
+
+/// Outcome of one replay run.
+pub struct ReplayOutcome {
+    /// Violations in discovery order (at most one per checker kind).
+    pub violations: Vec<(CheckKind, Counterexample)>,
+    /// `true` when a warp or event cap cut the run short — a clean
+    /// truncated replay is inconclusive.
+    pub truncated: bool,
+}
+
+/// Per-element store bookkeeping for the race sweep.
+#[derive(Clone, Copy, Default)]
+struct ElemStore {
+    plain: Option<u64>,
+    atomic_first: Option<u64>,
+    atomic_multi: bool,
+}
+
+struct Replayer<'a> {
+    plan: &'a SymbolicPlan,
+    policy: DataPolicy,
+    strategy: ArmStrategy,
+    shape: (i64, i64, i64, i64),
+    values: Vec<i64>,
+    extents: Vec<i64>,
+    /// Elements of non-input buffers stored by *completed* launches.
+    initialized: HashSet<(usize, i64)>,
+    /// Stores made by the launch in flight (merged at launch end).
+    pending_init: HashSet<(usize, i64)>,
+    /// Per-element store records for the current launch's race sweep.
+    stores: HashMap<(usize, i64), ElemStore>,
+    global_counters: HashMap<usize, i64>,
+    events: u64,
+    launch_name: String,
+    warp: u64,
+    violations: Vec<(CheckKind, Counterexample)>,
+    truncated: bool,
+}
+
+/// Replay `plan` at `shape` under one policy/strategy combination.
+pub fn replay(
+    plan: &SymbolicPlan,
+    shape: (i64, i64, i64, i64),
+    policy: DataPolicy,
+    strategy: ArmStrategy,
+) -> ReplayOutcome {
+    let mut r = Replayer {
+        plan,
+        policy,
+        strategy,
+        shape,
+        values: vec![0; plan.vars.len()],
+        extents: Vec::new(),
+        initialized: HashSet::new(),
+        pending_init: HashSet::new(),
+        stores: HashMap::new(),
+        global_counters: HashMap::new(),
+        events: 0,
+        launch_name: String::new(),
+        warp: 0,
+        violations: Vec::new(),
+        truncated: false,
+    };
+    r.run();
+    ReplayOutcome {
+        violations: r.violations,
+        truncated: r.truncated,
+    }
+}
+
+/// Replay `plan` across every shape, policy, and strategy; returns the
+/// first counterexample found per checker kind, plus whether any run was
+/// truncated.
+pub fn replay_all(plan: &SymbolicPlan) -> (Vec<(CheckKind, Counterexample)>, bool) {
+    let mut found: Vec<(CheckKind, Counterexample)> = Vec::new();
+    let mut truncated = false;
+    for shape in SHAPES {
+        for policy in POLICIES {
+            for strategy in STRATEGIES {
+                let out = replay(plan, shape, policy, strategy);
+                truncated |= out.truncated;
+                for (kind, cex) in out.violations {
+                    if !found.iter().any(|(k, _)| *k == kind) {
+                        found.push((kind, cex));
+                    }
+                }
+            }
+        }
+    }
+    (found, truncated)
+}
+
+impl Replayer<'_> {
+    fn run(&mut self) {
+        let (m, n, nnz, k) = self.shape;
+        // Parameters first, in declaration order so defaults may reference
+        // earlier ones.
+        for i in 0..self.plan.vars.len() {
+            let decl = self.plan.vars[i].clone();
+            if !matches!(decl.kind, VarKind::Param) {
+                continue;
+            }
+            self.values[i] = match decl.name.as_str() {
+                "m" => m,
+                "n" => n,
+                "nnz" => nnz,
+                "k" => k,
+                _ => match &decl.def {
+                    Some(d) => self.eval(d),
+                    None => self.eval(&decl.lo),
+                },
+            };
+        }
+        self.extents = self
+            .plan
+            .buffers
+            .iter()
+            .map(|b| self.eval(&b.len.clone()).max(0))
+            .collect();
+        for li in 0..self.plan.launches.len() {
+            let launch = self.plan.launches[li].clone();
+            self.launch_name = launch.name.clone();
+            self.stores.clear();
+            self.pending_init.clear();
+            let mut warps: u64 = 1;
+            for ext in &launch.extents {
+                let e = self.eval(ext).max(1) as u64;
+                warps = warps.saturating_mul(e);
+            }
+            if warps > MAX_WARPS_PER_LAUNCH {
+                // Skipping a launch would poison downstream init state;
+                // abandon the whole run instead.
+                self.truncated = true;
+                return;
+            }
+            for w in 0..warps {
+                self.warp = w;
+                let mut rem = w as i64;
+                for (axis, ext) in launch.axes.iter().zip(&launch.extents) {
+                    let e = self.eval(ext).max(1);
+                    self.values[axis.index()] = rem % e;
+                    rem /= e;
+                }
+                self.assign_data_vars();
+                self.walk(&launch.ops);
+                if self.truncated {
+                    return;
+                }
+            }
+            let pending: Vec<(usize, i64)> = self.pending_init.drain().collect();
+            self.initialized.extend(pending);
+        }
+    }
+
+    /// Instantiate every data variable for the current warp, honouring the
+    /// distinctness promises under `Floor` (values are clamped into range,
+    /// which never bites for the plans the kernels emit).
+    fn assign_data_vars(&mut self) {
+        for i in 0..self.plan.vars.len() {
+            let decl = self.plan.vars[i].clone();
+            let VarKind::Data { distinct, .. } = decl.kind else {
+                continue;
+            };
+            let lo = self.eval(&decl.lo);
+            let hi = decl.hi.as_ref().map(|h| self.eval(h)).unwrap_or(lo).max(lo);
+            let raw = match self.policy {
+                DataPolicy::Ceil => hi,
+                DataPolicy::Floor => match distinct {
+                    Distinct::No => lo,
+                    Distinct::ByVar(v) => lo + self.values[v.index()],
+                    Distinct::Global => {
+                        let c = self.global_counters.entry(i).or_insert(0);
+                        let val = lo + *c;
+                        *c += 1;
+                        val
+                    }
+                },
+            };
+            self.values[i] = raw.clamp(lo, hi);
+        }
+    }
+
+    fn eval(&self, e: &SymExpr) -> i64 {
+        let values = &self.values;
+        e.eval(&mut |v| values[v.index()])
+    }
+
+    fn walk(&mut self, ops: &[SymOp]) {
+        for op in ops {
+            if self.truncated {
+                return;
+            }
+            match op {
+                SymOp::Access(a) => self.access(a),
+                SymOp::For { var, count, body } => {
+                    let trip = self.eval(count).max(0);
+                    for t in 0..trip {
+                        self.values[var.index()] = t;
+                        self.walk(body);
+                        if self.truncated {
+                            return;
+                        }
+                    }
+                }
+                SymOp::Cases(arms) => {
+                    if let Some(arm) = self.pick_arm(arms) {
+                        self.walk(&arm.body);
+                    }
+                }
+            }
+        }
+    }
+
+    fn pick_arm<'b>(&self, arms: &'b [SymArm]) -> Option<&'b SymArm> {
+        let eligible: Vec<&SymArm> = arms
+            .iter()
+            .filter(|arm| match &arm.guard {
+                Some(cond) => self.eval(&cond.lhs) <= self.eval(&cond.rhs),
+                None => true,
+            })
+            .collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        let idx = match self.strategy {
+            ArmStrategy::ByWarp => (self.warp as usize) % eligible.len(),
+            ArmStrategy::First => 0,
+            ArmStrategy::Last => eligible.len() - 1,
+        };
+        Some(eligible[idx])
+    }
+
+    fn access(&mut self, a: &hpsparse_sim::SymAccess) {
+        let len = self.eval(&a.len);
+        if len <= 0 {
+            return;
+        }
+        let offset = self.eval(&a.offset);
+        let extent = self.extents[a.buffer];
+        if offset < 0 || offset + len > extent {
+            let oob = if (0..extent).contains(&offset) {
+                OobKind::Overrun
+            } else {
+                OobKind::Wild
+            };
+            let detail = match oob {
+                OobKind::Overrun => format!("overruns the {extent}-element allocation"),
+                OobKind::Wild => format!("wild access outside the {extent}-element allocation"),
+            };
+            self.record(CheckKind::Bounds, a, offset, len, Some(oob), detail);
+            // The contained portion still happens (a racy or overrunning
+            // store still *writes* its in-bounds elements), so fall through
+            // and process it — otherwise init/race state would drift from
+            // the dynamic sanitizer's.
+        }
+        let is_input = self.plan.buffers[a.buffer].role == SymBufferRole::Input;
+        for elem in offset.max(0)..(offset + len).min(extent) {
+            if self.events >= MAX_EVENTS {
+                self.truncated = true;
+                return;
+            }
+            self.events += 1;
+            match a.kind {
+                SymAccessKind::Read => {
+                    if !is_input && !self.initialized.contains(&(a.buffer, elem)) {
+                        let detail = format!("read of uninitialized element {elem}");
+                        self.record(CheckKind::Init, a, offset, len, None, detail);
+                    }
+                }
+                SymAccessKind::Write | SymAccessKind::Atomic => {
+                    let atomic = a.kind == SymAccessKind::Atomic;
+                    if !is_input {
+                        self.pending_init.insert((a.buffer, elem));
+                    }
+                    let w = self.warp;
+                    let rec = self.stores.entry((a.buffer, elem)).or_default();
+                    let plain_clash = rec.plain.is_some_and(|pw| pw != w);
+                    let atomic_clash =
+                        !atomic && (rec.atomic_first.is_some_and(|aw| aw != w) || rec.atomic_multi);
+                    let other = if plain_clash {
+                        rec.plain
+                    } else {
+                        rec.atomic_first
+                    };
+                    if atomic {
+                        match rec.atomic_first {
+                            None => rec.atomic_first = Some(w),
+                            Some(aw) if aw != w => rec.atomic_multi = true,
+                            Some(_) => {}
+                        }
+                    } else if rec.plain.is_none() {
+                        rec.plain = Some(w);
+                    }
+                    if plain_clash || atomic_clash {
+                        let detail = format!(
+                            "element {elem} also stored by warp {} ({})",
+                            other.unwrap_or(0),
+                            if plain_clash {
+                                "plain-vs-plain"
+                            } else {
+                                "plain-vs-atomic"
+                            }
+                        );
+                        self.record(CheckKind::Race, a, offset, len, None, detail);
+                    }
+                }
+            }
+        }
+    }
+
+    fn record(
+        &mut self,
+        kind: CheckKind,
+        a: &hpsparse_sim::SymAccess,
+        offset: i64,
+        len: i64,
+        oob: Option<OobKind>,
+        detail: String,
+    ) {
+        if self.violations.iter().any(|(k, _)| *k == kind) {
+            return;
+        }
+        self.violations.push((
+            kind,
+            Counterexample {
+                shape: self.shape,
+                launch: self.launch_name.clone(),
+                warp: self.warp,
+                buffer: self.plan.buffers[a.buffer].name.clone(),
+                offset,
+                len,
+                oob,
+                detail,
+            },
+        ));
+    }
+}

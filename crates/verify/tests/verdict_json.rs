@@ -1,0 +1,85 @@
+//! Golden snapshot of the verdict-report JSON shape.
+//!
+//! The `repro -- verify` experiment serialises [`PlanVerdict`]s, and — as
+//! with the simulator's `LaunchReport` JSON — field order is part of the
+//! contract: declaration order, never alphabetical. Pinning the exact
+//! serialisation turns any field addition or reordering into a visible
+//! failure that forces the experiment table and this snapshot to be
+//! revisited together.
+
+use hpsparse_verify::{CheckVerdict, Counterexample, OobKind, PlanVerdict};
+use serde_json::ToJson;
+
+fn sample_verdict() -> PlanVerdict {
+    PlanVerdict {
+        kernel: "sample-kernel".into(),
+        variant: "npw=256 vw=4".into(),
+        bounds: CheckVerdict::Refuted(Counterexample {
+            shape: (10, 50, 1000, 32),
+            launch: "exec".into(),
+            warp: 7,
+            buffer: "O".into(),
+            offset: 320,
+            len: 2,
+            oob: Some(OobKind::Overrun),
+            detail: "element 321 past extent 320".into(),
+        }),
+        race: CheckVerdict::Proved,
+        init: CheckVerdict::Unknown {
+            reason: "read of 'O' has no covering store".into(),
+        },
+    }
+}
+
+#[test]
+fn verdict_json_shape_is_pinned() {
+    let json = serde_json::to_string_pretty(&sample_verdict().to_json()).unwrap();
+    let expected = r#"{
+  "kernel": "sample-kernel",
+  "variant": "npw=256 vw=4",
+  "bounds": {
+    "status": "refuted",
+    "counterexample": {
+      "m": 10,
+      "n": 50,
+      "nnz": 1000,
+      "k": 32,
+      "launch": "exec",
+      "warp": 7,
+      "buffer": "O",
+      "offset": 320,
+      "len": 2,
+      "oob": "overrun",
+      "detail": "element 321 past extent 320"
+    }
+  },
+  "race": {
+    "status": "proved"
+  },
+  "init": {
+    "status": "unknown",
+    "reason": "read of 'O' has no covering store"
+  }
+}"#;
+    assert_eq!(json, expected);
+}
+
+#[test]
+fn counterexample_without_attribution_omits_oob_field() {
+    let cex = Counterexample {
+        shape: (3, 5, 17, 4),
+        launch: "l".into(),
+        warp: 0,
+        buffer: "B".into(),
+        offset: 1,
+        len: 1,
+        oob: None,
+        detail: "plain-vs-plain".into(),
+    };
+    let json = serde_json::to_string(&cex.to_json()).unwrap();
+    assert!(!json.contains("\"oob\""));
+    // Display stays a one-liner naming the shape and the buffer window.
+    let line = format!("{cex}");
+    assert!(line.contains("(m=3, n=5, nnz=17, k=4)"));
+    assert!(line.contains("buffer 'B' [1, +1)"));
+}
