@@ -11,7 +11,7 @@ use hpsparse_core::baselines::{sddmm_by_id, spmm_by_id, SDDMM_IDS, SPMM_IDS};
 use hpsparse_core::hp::config::{
     hvma_vector_width, HpConfig, DEFAULT_ALPHA, NNZ_PER_WARP_CANDIDATES, WARPS_PER_BLOCK,
 };
-use hpsparse_core::hp::{HpSddmm, HpSpmm};
+use hpsparse_core::hp::{HpFusedMha, HpSddmm, HpSpmm};
 use hpsparse_core::traits::{SddmmKernel, SpmmKernel};
 use hpsparse_sim::DeviceSpec;
 
@@ -107,6 +107,47 @@ pub fn sddmm_candidates(device: &DeviceSpec, fp: &GraphFingerprint) -> Vec<Candi
         });
     }
     out
+}
+
+/// Candidate id of the fused one-launch attention kernel.
+pub const MHA_FUSED_ID: &str = "hp-fused-mha:auto";
+/// Candidate id of the unfused SDDMM → softmax → SpMM pipeline.
+pub const MHA_UNFUSED_ID: &str = "mha-unfused:3-launch";
+
+/// Enumerates the multi-head-attention candidate space — the fuse/no-fuse
+/// knob. Exactly two points: the fused kernel (carrying the launch
+/// configuration `HpFusedMha::auto` would derive, so a cached plan replays
+/// it exactly) and the three-launch unfused pipeline. `fp.k` is the head
+/// dimension.
+pub fn mha_candidates(device: &DeviceSpec, fp: &GraphFingerprint) -> Vec<Candidate> {
+    let mut config = HpConfig::auto(device, fp.nnz, fp.rows, 32);
+    config.vector_width = if fp.k >= 128 {
+        4
+    } else if fp.k >= 64 {
+        2
+    } else {
+        1
+    };
+    vec![
+        Candidate {
+            kernel_id: MHA_FUSED_ID.into(),
+            config: Some(config),
+        },
+        Candidate {
+            kernel_id: MHA_UNFUSED_ID.into(),
+            config: None,
+        },
+    ]
+}
+
+/// Instantiates a fused-attention candidate. Returns `None` for the
+/// unfused pipeline (the caller runs its SDDMM/SpMM plans instead) and for
+/// unknown ids from stale caches.
+pub fn instantiate_fused_mha(c: &Candidate) -> Option<HpFusedMha> {
+    if c.kernel_id.starts_with("hp-fused-mha") {
+        return c.config.map(HpFusedMha::new);
+    }
+    None
 }
 
 /// Instantiates an SpMM candidate as a runnable kernel. Returns `None` for
@@ -227,5 +268,22 @@ mod tests {
         };
         assert!(instantiate_spmm(&c).is_none());
         assert!(instantiate_sddmm(&c).is_none());
+        assert!(instantiate_fused_mha(&c).is_none());
+    }
+
+    #[test]
+    fn mha_space_is_the_fuse_no_fuse_pair() {
+        let v100 = DeviceSpec::v100();
+        let fp = fp_for(10_000, 10_000, 100_000, 64);
+        let cands = mha_candidates(&v100, &fp);
+        assert_eq!(cands.len(), 2);
+        assert_eq!(cands[0].kernel_id, MHA_FUSED_ID);
+        assert_eq!(cands[1].kernel_id, MHA_UNFUSED_ID);
+        // The fused candidate carries the exact configuration
+        // `HpFusedMha::auto` derives (vector width from the head dim).
+        let cfg = cands[0].config.expect("fused candidate is configured");
+        assert_eq!(cfg.vector_width, 2, "head dim 64 → float2");
+        assert!(instantiate_fused_mha(&cands[0]).is_some());
+        assert!(instantiate_fused_mha(&cands[1]).is_none());
     }
 }

@@ -275,6 +275,91 @@ fn baseline_cycles(
     compute.max(bandwidth) * balance * (1.0 + profile.preprocess)
 }
 
+/// Kernel-launch overhead in cycles, matching the accounting backends'
+/// `LAUNCH_OVERHEAD_CYCLES` (≈ 3.5 µs of driver + runtime per launch at
+/// V100 clocks). It is what makes the unfused pipeline's three launches
+/// per head expensive on small graphs even when bandwidth is free.
+pub const LAUNCH_OVERHEAD_CYCLES: u64 = 5_000;
+
+/// Roofline cycles of the standalone edge-softmax pass the *unfused*
+/// attention pipeline needs between SDDMM and SpMM: one read of the raw
+/// scores and one write of the normalised weights (8 B per edge).
+pub fn edge_softmax_cycles(device: &DeviceSpec, nnz: usize) -> u64 {
+    (8.0 * nnz as f64 / device.dram_bytes_per_cycle).ceil() as u64
+}
+
+/// Estimated cycles of the three-launch unfused attention pipeline for
+/// `heads` heads at head dimension `fp.k`: per head an HP-SDDMM, a
+/// standalone edge softmax, and an HP-SpMM, each paying a launch overhead
+/// and round-tripping the per-edge intermediate through DRAM.
+fn mha_unfused_cycles(device: &DeviceSpec, fp: &GraphFingerprint, heads: usize) -> f64 {
+    let cfg = HpConfig::auto(device, fp.nnz, fp.rows, fp.k.max(1));
+    let per_head = hp_sddmm_cycles(device, fp, &cfg)
+        + edge_softmax_cycles(device, fp.nnz) as f64
+        + hp_spmm_cycles(device, fp, &cfg)
+        + 3.0 * LAUNCH_OVERHEAD_CYCLES as f64;
+    per_head * heads.max(1) as f64
+}
+
+/// Estimated cycles of the fused one-launch kernel: the SDDMM dot products
+/// and the SpMM accumulation share one instruction stream, the score tile
+/// lives in shared memory (no per-edge round trip), the sparse arrays are
+/// staged once per (tile, head) instead of once per kernel, and the whole
+/// batch pays a single launch overhead. Rows longer than the shared tile
+/// spill through L2; the model charges the spill launches' overhead but
+/// not their volume (the `Measured` strategy sees the real spill traffic).
+fn mha_fused_cycles(
+    device: &DeviceSpec,
+    fp: &GraphFingerprint,
+    heads: usize,
+    cfg: &HpConfig,
+) -> f64 {
+    let h = heads.max(1) as f64;
+    let nnz = fp.nnz as f64;
+    let k = fp.k as f64;
+    let occ = occupancy_of(device, &cfg.resources(fp.k));
+
+    // Per edge and head: triplet staging, a K-wide dot + reduction, three
+    // shared-memory softmax passes, and the V-row FMA accumulation.
+    let insts = h
+        * (nnz * 3.0 / cfg.vector_width as f64
+            + nnz * (2.0 * k / 32.0 + device.cost.shuffle * 5.0 + 3.0))
+        * device.cost.issue;
+    let throughput = device.num_sms as f64 * device.cost.smt_width * occ.warp_occupancy.max(0.05);
+    let compute = insts / throughput;
+
+    // Sparse arrays + Q/K/V feature streams + the two outputs; no score
+    // round trip and no second pass over the sparse arrays.
+    let bytes = h
+        * (12.0 * nnz
+            + 4.0 * nnz * k * l2_miss_factor(device, fp)
+            + 8.0 * fp.rows as f64 * k
+            + 4.0 * nnz);
+    let bandwidth = bytes / device.dram_bytes_per_cycle;
+
+    let spill_launches = if fp.max_degree > hpsparse_core::hp::fused_mha::SMEM_SCORE_CAP {
+        2.0
+    } else {
+        0.0
+    };
+    compute.max(bandwidth) + (1.0 + spill_launches) * LAUNCH_OVERHEAD_CYCLES as f64
+}
+
+/// Estimated execution cycles for a multi-head-attention candidate (the
+/// fuse/no-fuse knob): `fp.k` is the head dimension. Always finite and
+/// non-negative.
+pub fn mha_cost(device: &DeviceSpec, fp: &GraphFingerprint, heads: usize, c: &Candidate) -> f64 {
+    let cycles = match &c.config {
+        Some(cfg) => mha_fused_cycles(device, fp, heads, cfg),
+        None => mha_unfused_cycles(device, fp, heads),
+    };
+    if cycles.is_finite() {
+        cycles.max(0.0)
+    } else {
+        f64::MAX / 4.0
+    }
+}
+
 /// Estimated execution cycles for an SpMM candidate. Always finite and
 /// non-negative, including for degenerate (empty) inputs.
 pub fn spmm_cost(device: &DeviceSpec, fp: &GraphFingerprint, c: &Candidate) -> f64 {
@@ -377,6 +462,39 @@ mod tests {
         assert!(
             spmm_cost(&v100, &skewed, auto) < spmm_cost(&v100, &skewed, row_split),
             "HP should beat scalar row-split on skewed graphs"
+        );
+    }
+
+    #[test]
+    fn mha_costs_are_finite_and_favour_fusion_at_many_heads() {
+        let v100 = DeviceSpec::v100();
+        let fused = Candidate {
+            kernel_id: "hp-fused-mha:auto".into(),
+            config: Some(HpConfig::auto(&v100, 500_000, 50_000, 32)),
+        };
+        let unfused = Candidate {
+            kernel_id: "mha-unfused:3-launch".into(),
+            config: None,
+        };
+        for fp in [
+            fp(50_000, 500_000, 1.5, 400, 64),
+            fp(0, 0, 0.0, 0, 64),
+            fp(1, 1, 0.0, 1, 32),
+        ] {
+            for heads in [1usize, 4, 8] {
+                for c in [&fused, &unfused] {
+                    let cost = mha_cost(&v100, &fp, heads, c);
+                    assert!(cost.is_finite() && cost >= 0.0, "{}: {cost}", c.kernel_id);
+                }
+            }
+        }
+        // At several heads the saved score round trips, the single staging
+        // pass over the sparse arrays, and the single launch overhead must
+        // dominate: fusion wins on a regular mid-size graph.
+        let regular = fp(50_000, 500_000, 1.5, 400, 64);
+        assert!(
+            mha_cost(&v100, &regular, 4, &fused) < mha_cost(&v100, &regular, 4, &unfused),
+            "fused must be cheaper at 4 heads"
         );
     }
 

@@ -91,13 +91,31 @@ impl GraphFingerprint {
     /// Stable across runs, platforms and (barring an encoding version
     /// bump) releases — the property persisted caches rely on.
     pub fn key(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in self.canonical_encoding().bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x100_0000_01b3);
-        }
-        h
+        fnv1a(&self.canonical_encoding())
     }
+
+    /// Canonical encoding of a multi-head attention planning input: the
+    /// base fingerprint (with `k` = head dimension) plus the head count,
+    /// which multiplies every traffic term and therefore changes the
+    /// fuse/no-fuse decision.
+    pub fn mha_encoding(&self, heads: usize) -> String {
+        format!("{}|heads={heads}", self.canonical_encoding())
+    }
+
+    /// Cache key for a fused-attention plan: [`Self::key`] extended with
+    /// the head count via [`Self::mha_encoding`].
+    pub fn mha_key(&self, heads: usize) -> u64 {
+        fnv1a(&self.mha_encoding(heads))
+    }
+}
+
+fn fnv1a(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 #[cfg(test)]
@@ -142,6 +160,16 @@ mod tests {
         );
         let denser = Hybrid::from_triplets(32, 64, &[(0, 0, 1.0)]).unwrap();
         assert_ne!(a.key(), GraphFingerprint::of(&denser, 64, &v100).key());
+    }
+
+    #[test]
+    fn mha_key_separates_head_counts() {
+        let s = power_law_ish();
+        let fp = GraphFingerprint::of(&s, 64, &DeviceSpec::v100());
+        assert_eq!(fp.mha_key(4), fp.mha_key(4));
+        assert_ne!(fp.mha_key(1), fp.mha_key(4));
+        assert_ne!(fp.mha_key(1), fp.key(), "heads=1 is still a distinct op");
+        assert!(fp.mha_encoding(4).ends_with("|heads=4"));
     }
 
     #[test]

@@ -48,8 +48,12 @@ pub mod planner;
 
 pub use cache::{CachedPlan, PlanCache};
 pub use candidates::{
-    instantiate_sddmm, instantiate_spmm, sddmm_candidates, spmm_candidates, Candidate,
+    instantiate_fused_mha, instantiate_sddmm, instantiate_spmm, mha_candidates, sddmm_candidates,
+    spmm_candidates, Candidate, MHA_FUSED_ID, MHA_UNFUSED_ID,
 };
-pub use cost::{sddmm_cost, spmm_cost};
+pub use cost::{edge_softmax_cycles, mha_cost, sddmm_cost, spmm_cost, LAUNCH_OVERHEAD_CYCLES};
 pub use fingerprint::GraphFingerprint;
-pub use planner::{measurement_features, OpKind, Plan, PlanStrategy, Planner};
+pub use planner::{
+    measure_fused_mha, measure_unfused_mha, measurement_features, mha_measurement_heads, OpKind,
+    Plan, PlanStrategy, Planner,
+};

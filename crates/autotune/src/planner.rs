@@ -14,14 +14,16 @@
 //! measurement features are a fixed function of shape, every simulator run
 //! starts cold, and ties break toward the better heuristic rank.
 
-use hpsparse_core::hp::HpConfig;
+use hpsparse_core::hp::{HpConfig, HpFusedMha, HpSddmm, HpSpmm};
+use hpsparse_core::traits::{SddmmKernel, SpmmKernel};
 use hpsparse_sim::{DeviceSpec, GpuSim};
 use hpsparse_sparse::{Dense, Hybrid};
 
 use crate::candidates::{
-    instantiate_sddmm, instantiate_spmm, sddmm_candidates, spmm_candidates, Candidate,
+    instantiate_fused_mha, instantiate_sddmm, instantiate_spmm, mha_candidates, sddmm_candidates,
+    spmm_candidates, Candidate,
 };
-use crate::cost::{sddmm_cost, spmm_cost};
+use crate::cost::{edge_softmax_cycles, mha_cost, sddmm_cost, spmm_cost, LAUNCH_OVERHEAD_CYCLES};
 use crate::fingerprint::GraphFingerprint;
 
 /// How the planner searches the candidate space.
@@ -80,6 +82,10 @@ pub enum OpKind {
     Spmm,
     /// `S_O = (A1 · A2ᵀ) ⊙ S`.
     Sddmm,
+    /// Multi-head attention `O_h = softmax((Q_h·K_hᵀ)⊙S/√d) · V_h` — the
+    /// fuse/no-fuse decision. Cache keys for this op carry the head count
+    /// ([`GraphFingerprint::mha_key`]).
+    FusedMha,
 }
 
 impl OpKind {
@@ -88,6 +94,7 @@ impl OpKind {
         match self {
             OpKind::Spmm => "spmm",
             OpKind::Sddmm => "sddmm",
+            OpKind::FusedMha => "fused-mha",
         }
     }
 
@@ -96,6 +103,7 @@ impl OpKind {
         match tag {
             "spmm" => Some(OpKind::Spmm),
             "sddmm" => Some(OpKind::Sddmm),
+            "fused-mha" => Some(OpKind::FusedMha),
             _ => None,
         }
     }
@@ -227,6 +235,43 @@ impl Planner {
         plan
     }
 
+    /// Plans multi-head attention for `s` — the fuse/no-fuse knob. `fp.k`
+    /// is the per-head feature dimension `head_dim`; `heads` multiplies
+    /// every traffic term and is part of the cache key
+    /// ([`GraphFingerprint::mha_key`]). Under `Measured` both candidates
+    /// are always measured (the space has exactly two points), so the pick
+    /// is the true cold-run winner by construction.
+    pub fn plan_mha(&mut self, s: &Hybrid, head_dim: usize, heads: usize) -> Plan {
+        let _span = hpsparse_trace::span_with(
+            "autotune:plan-mha",
+            &[
+                ("rows", serde_json::json!(s.rows())),
+                ("nnz", serde_json::json!(s.nnz())),
+                ("head_dim", serde_json::json!(head_dim)),
+                ("heads", serde_json::json!(heads)),
+            ],
+        );
+        let launches_before = self.sim_launches;
+        let fp = GraphFingerprint::of(s, head_dim, &self.device);
+        let ranked = rank(mha_candidates(&self.device, &fp), |c| {
+            mha_cost(&self.device, &fp, heads, c)
+        });
+        let plan = match self.strategy {
+            PlanStrategy::Heuristic => heuristic_plan(&fp, ranked),
+            PlanStrategy::Measured { .. } => {
+                let q = mha_measurement_heads(s.rows(), head_dim, heads, 0);
+                let kv = mha_measurement_heads(s.cols(), head_dim, heads, 1);
+                let reference = self.reference_engine;
+                self.measured_plan(&fp, ranked, 2, |device, c| match instantiate_fused_mha(c) {
+                    Some(kernel) => measure_fused_mha(device, reference, &kernel, s, &q, &kv),
+                    None => measure_unfused_mha(device, reference, s, &q, &kv),
+                })
+            }
+        };
+        self.record_planning_metrics(launches_before);
+        plan
+    }
+
     /// Counts one finished plan (and the simulator launches it spent) into
     /// the installed trace session's registry; a no-op when detached.
     fn record_planning_metrics(&self, launches_before: u64) {
@@ -343,6 +388,63 @@ pub fn measurement_features(rows: usize, k: usize) -> Dense {
     Dense::from_fn(rows, k, |i, j| (((i * 131 + j * 17) % 1000) as f32) * 1e-3)
 }
 
+/// Deterministic per-head feature matrices for attention measurement:
+/// head- and side-salted so Q and K/V (and heads) differ without any
+/// runtime randomness.
+pub fn mha_measurement_heads(rows: usize, k: usize, heads: usize, salt: usize) -> Vec<Dense> {
+    (0..heads)
+        .map(|h| {
+            Dense::from_fn(rows, k, |i, j| {
+                (((i * 131 + j * 17 + h * 53 + salt * 29) % 1000) as f32) * 1e-3
+            })
+        })
+        .collect()
+}
+
+/// Cold measured cycles of the fused attention kernel, launch overheads
+/// included (one per launch — the spill pair, when present, pays too).
+pub fn measure_fused_mha(
+    device: &DeviceSpec,
+    reference_engine: bool,
+    kernel: &HpFusedMha,
+    s: &Hybrid,
+    q: &[Dense],
+    kv: &[Dense],
+) -> Option<u64> {
+    let mut sim = GpuSim::new(device.clone());
+    sim.set_reference_engine(reference_engine);
+    let run = kernel.run_on(&mut sim, s, q, kv, kv).ok()?;
+    Some(run.total_cycles() + run.reports.len() as u64 * LAUNCH_OVERHEAD_CYCLES)
+}
+
+/// Cold measured cycles of the unfused three-launch pipeline: per head an
+/// HP-SDDMM launch, a rooflined edge-softmax pass, and an HP-SpMM launch,
+/// each with its launch overhead — exactly how the accounting backends
+/// charge the no-fuse path, so the knob's comparison is apples-to-apples.
+pub fn measure_unfused_mha(
+    device: &DeviceSpec,
+    reference_engine: bool,
+    s: &Hybrid,
+    q: &[Dense],
+    kv: &[Dense],
+) -> Option<u64> {
+    let head_dim = q.first()?.cols();
+    let sddmm = HpSddmm::auto(device, s, head_dim);
+    let spmm = HpSpmm::auto(device, s, head_dim);
+    let mut total = 0u64;
+    for (qh, kvh) in q.iter().zip(kv) {
+        let mut sim = GpuSim::new(device.clone());
+        sim.set_reference_engine(reference_engine);
+        let sd = sddmm.run_on(&mut sim, s, qh, kvh).ok()?;
+        let sp = spmm.run_on(&mut sim, s, kvh).ok()?;
+        total += sd.report.cycles
+            + edge_softmax_cycles(device, s.nnz())
+            + sp.report.cycles
+            + 3 * LAUNCH_OVERHEAD_CYCLES;
+    }
+    Some(total)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -438,9 +540,49 @@ mod tests {
 
     #[test]
     fn opkind_tags_round_trip() {
-        for op in [OpKind::Spmm, OpKind::Sddmm] {
+        for op in [OpKind::Spmm, OpKind::Sddmm, OpKind::FusedMha] {
             assert_eq!(OpKind::from_tag(op.tag()), Some(op));
         }
         assert_eq!(OpKind::from_tag("gemm"), None);
+    }
+
+    #[test]
+    fn mha_plan_measures_both_candidates_and_picks_the_winner() {
+        let s = graph(4, 800, 6_000);
+        let mut p = Planner::new(DeviceSpec::v100(), PlanStrategy::default());
+        let plan = p.plan_mha(&s, 32, 4);
+        assert_eq!(p.sim_launches(), 2, "exactly the fuse/no-fuse pair");
+        // The pick must be the cheaper of the two direct measurements.
+        let q = mha_measurement_heads(s.rows(), 32, 4, 0);
+        let kv = mha_measurement_heads(s.cols(), 32, 4, 1);
+        let v100 = DeviceSpec::v100();
+        let fused =
+            measure_fused_mha(&v100, false, &HpFusedMha::auto(&v100, &s, 32), &s, &q, &kv).unwrap();
+        let unfused = measure_unfused_mha(&v100, false, &s, &q, &kv).unwrap();
+        let oracle = if fused <= unfused {
+            crate::candidates::MHA_FUSED_ID
+        } else {
+            crate::candidates::MHA_UNFUSED_ID
+        };
+        assert_eq!(plan.kernel_id, oracle, "{}", plan.rationale);
+        assert_eq!(plan.predicted_cycles, fused.min(unfused));
+    }
+
+    #[test]
+    fn mha_plans_are_deterministic_and_work_on_degenerate_inputs() {
+        let v100 = DeviceSpec::v100();
+        let s = graph(5, 600, 4_000);
+        for strategy in [PlanStrategy::Heuristic, PlanStrategy::default()] {
+            let a = Planner::new(v100.clone(), strategy).plan_mha(&s, 64, 2);
+            let b = Planner::new(v100.clone(), strategy).plan_mha(&s, 64, 2);
+            assert_eq!(a, b);
+        }
+        for s in [
+            Hybrid::from_triplets(0, 0, &[]).unwrap(),
+            Hybrid::from_triplets(4, 4, &[]).unwrap(),
+        ] {
+            let plan = Planner::new(v100.clone(), PlanStrategy::default()).plan_mha(&s, 32, 2);
+            assert!(!plan.kernel_id.is_empty());
+        }
     }
 }

@@ -28,7 +28,9 @@
 //!   profile  Nsight-style kernel profiles on Flickr
 //!   datasets Table II stand-in verification
 //!   serve    multi-GPU sharded inference serving; writes BENCH_serve.json
-//!   all      everything above (except serve)
+//!   fused-mha fused one-launch multi-head attention vs three-launch pipeline;
+//!            writes BENCH_fused_mha.json
+//!   all      everything above (except serve and fused-mha)
 //!   selftime wall-clock self-benchmark of the harness; writes BENCH_repro.json
 //!   list     print the experiment catalog and exit
 //! ```
@@ -141,6 +143,14 @@ fn main() {
             )
             .expect("write BENCH_serve.json");
             eprintln!("[wrote BENCH_serve.json]");
+        }
+        if out.id == "fused-mha" {
+            std::fs::write(
+                "BENCH_fused_mha.json",
+                serde_json::to_string_pretty(&out.json).unwrap(),
+            )
+            .expect("write BENCH_fused_mha.json");
+            eprintln!("[wrote BENCH_fused_mha.json]");
         }
         println!("{}", out.text);
         eprintln!(
@@ -319,7 +329,7 @@ fn usage(err: &str) -> ! {
          \x20            [--selftime-baseline FILE] [--selftime-tolerance F] <experiment>...\n\
          experiments: fig9 fig9a30 fig10 table3 table4 tcgnn reorder fig11 \
          fig12 fig13 alpha futurework bell fused table5 autotune sanitize verify fastcheck \
-         formats profile datasets serve all selftime\n\
+         formats profile datasets serve fused-mha all selftime\n\
          run `repro list` for one-line summaries"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

@@ -8,6 +8,7 @@ pub mod extensions;
 pub mod fastcheck;
 pub mod formats;
 pub mod fullgraph;
+pub mod fused_mha;
 pub mod kernel_profile;
 pub mod ksweep;
 pub mod preprocessing;
@@ -71,9 +72,9 @@ pub const DEFAULT_K: usize = 64;
 
 /// Experiment catalog: every dispatchable name with a one-line summary,
 /// in `repro list` order. `all` and `selftime` are meta-modes the `repro`
-/// binary expands itself; `serve` and `verify` are dispatchable but stay
-/// out of [`ALL_EXPERIMENTS`] (and thus out of `selftime`'s committed
-/// baseline).
+/// binary expands itself; `serve`, `verify`, and `fused-mha` are
+/// dispatchable but stay out of [`ALL_EXPERIMENTS`] (and thus out of
+/// `selftime`'s committed baseline).
 pub const CATALOG: &[(&str, &str)] = &[
     ("formats", "§II storage-format comparison"),
     ("fig9", "kernel benchmarks, full-graph dataset (V100)"),
@@ -119,6 +120,10 @@ pub const CATALOG: &[(&str, &str)] = &[
     (
         "serve",
         "multi-GPU sharded inference serving under synthetic load; writes BENCH_serve.json",
+    ),
+    (
+        "fused-mha",
+        "fused one-launch multi-head attention vs three-launch pipeline; writes BENCH_fused_mha.json",
     ),
 ];
 
@@ -188,6 +193,7 @@ pub fn dispatch(name: &str, effort: Effort) -> Option<ExperimentOutput> {
         "profile" => kernel_profile::run(effort, k),
         "datasets" => datasets_table::run(effort),
         "serve" => serve::run(effort),
+        "fused-mha" => fused_mha::run(&DeviceSpec::v100(), effort),
         _ => return None,
     })
 }

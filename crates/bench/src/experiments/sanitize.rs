@@ -15,7 +15,7 @@
 use crate::experiments::{Effort, ExperimentOutput};
 use crate::table;
 use hpsparse_core::baselines::registry;
-use hpsparse_core::hp::{HpSddmm, HpSpmm};
+use hpsparse_core::hp::{HpFusedMha, HpSddmm, HpSpmm};
 use hpsparse_core::mutants;
 use hpsparse_datasets::{full_graph_dataset, store};
 use hpsparse_sanitize::{Checker, Report, Sanitizer};
@@ -167,6 +167,34 @@ pub fn collect(device: &DeviceSpec, effort: Effort, k: usize) -> Vec<KernelVerdi
         }
         verdicts.push(verdict);
     }
+    // The fused attention kernel joins the sweep with its own harness —
+    // two heads so the multi-head indexing and the shared-tile/spill split
+    // are both exercised under the sanitizer.
+    {
+        let id = "hp-fused-mha".to_string();
+        let _span = hpsparse_trace::span_with(
+            &format!("sanitize:{id}"),
+            &[("graphs", json!(graphs.len()))],
+        );
+        let mut verdict = new_verdict(id.clone());
+        for (graph, s) in &graphs {
+            let kernel = HpFusedMha::auto(device, s, k);
+            let q: Vec<_> = (0..2)
+                .map(|_| crate::runner::bench_features(s.rows(), k))
+                .collect();
+            let kv: Vec<_> = (0..2)
+                .map(|_| crate::runner::bench_features(s.cols(), k))
+                .collect();
+            let sanitizer = Sanitizer::new();
+            let mut sim = GpuSim::new(device.clone());
+            sim.attach_sink(sanitizer.sink());
+            kernel
+                .run_on(&mut sim, s, &q, &kv, &kv)
+                .unwrap_or_else(|e| panic!("{id} on {graph}: {e:?}"));
+            fold(&mut verdict, graph, &sanitizer.report());
+        }
+        verdicts.push(verdict);
+    }
     verdicts
 }
 
@@ -215,6 +243,7 @@ pub fn collect_mutants(device: &DeviceSpec) -> Vec<MutantVerdict> {
                 "mutant:oob-tail" => Checker::Memcheck,
                 "mutant:racy-tail" => Checker::Racecheck,
                 "mutant:uninit-acc" => Checker::Initcheck,
+                "mutant:eager-norm" => Checker::Initcheck,
                 other => panic!("unknown mutant {other}"),
             };
             let sanitizer = Sanitizer::new();
@@ -396,14 +425,15 @@ mod tests {
             "{}",
             out.text
         );
-        // 12 SpMM (hp + 11 registry) + 3 SDDMM (hp + 2 registry), 19 graphs.
+        // 12 SpMM (hp + 11 registry) + 3 SDDMM (hp + 2 registry) + the
+        // fused attention kernel, 19 graphs.
         let kernels = out.json["kernels"].as_array().unwrap();
-        assert_eq!(kernels.len(), 15);
+        assert_eq!(kernels.len(), 16);
         for k in kernels {
             assert_eq!(k["graphs"].as_u64(), Some(19), "{}", k["id"]);
             assert!(k["events"].as_u64().unwrap() > 0, "{}", k["id"]);
         }
-        assert_eq!(out.json["mutants"].as_array().unwrap().len(), 3);
+        assert_eq!(out.json["mutants"].as_array().unwrap().len(), 4);
         // Mutant examples carry the kernel name and a hex address.
         for m in out.json["mutants"].as_array().unwrap() {
             let example = m["example"].as_str().unwrap();

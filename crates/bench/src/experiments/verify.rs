@@ -21,7 +21,7 @@
 use crate::experiments::{sanitize, Effort, ExperimentOutput};
 use crate::table;
 use hpsparse_core::baselines::registry;
-use hpsparse_core::hp::{HpConfig, HpSddmm, HpSpmm};
+use hpsparse_core::hp::{HpConfig, HpFusedMha, HpSddmm, HpSpmm};
 use hpsparse_core::mutants;
 use hpsparse_sanitize::sanitize_run;
 use hpsparse_sim::{DeviceSpec, SymbolicPlan};
@@ -163,7 +163,18 @@ fn escalate(device: &DeviceSpec, id: &str) -> Escalation {
     hpsparse_trace::counter_add("verify.escalations", 1);
     let s = witness_graph();
     let report = sanitize_run(device.clone(), |sim| {
-        if id == "hp-spmm" || registry::spmm_by_id(id).is_some() {
+        if id == "hp-fused-mha" {
+            let kernel = HpFusedMha::auto(device, &s, VERIFY_K);
+            let q: Vec<_> = (0..2)
+                .map(|_| crate::runner::bench_features(s.rows(), VERIFY_K))
+                .collect();
+            let kv: Vec<_> = (0..2)
+                .map(|_| crate::runner::bench_features(s.cols(), VERIFY_K))
+                .collect();
+            kernel
+                .run_on(sim, &s, &q, &kv, &kv)
+                .unwrap_or_else(|e| panic!("escalation {id}: {e:?}"));
+        } else if id == "hp-spmm" || registry::spmm_by_id(id).is_some() {
             let kernel: Box<dyn hpsparse_core::SpmmKernel> = if id == "hp-spmm" {
                 Box::new(HpSpmm::auto(device, &s, VERIFY_K))
             } else {
@@ -194,7 +205,7 @@ fn escalate(device: &DeviceSpec, id: &str) -> Escalation {
 }
 
 /// Static verdicts for every registry kernel, escalating non-proved ones
-/// to the dynamic sanitizer. Hard-asserts the gate's invariants: all 15
+/// to the dynamic sanitizer. Hard-asserts the gate's invariants: all 16
 /// kernels get a verdict and no unmutated kernel is statically refuted.
 pub fn collect(device: &DeviceSpec) -> Vec<KernelStaticVerdict> {
     let mut verdicts: Vec<KernelStaticVerdict> = Vec::new();
@@ -225,6 +236,14 @@ pub fn collect(device: &DeviceSpec) -> Vec<KernelStaticVerdict> {
         let kernel = registry::sddmm_by_id(id).expect("registry id resolves");
         verdicts.push(aggregate(id, &kernel.symbolic_plans()));
     }
+    {
+        let _span = hpsparse_trace::span("verify:hp-fused-mha");
+        let plans: Vec<SymbolicPlan> = hp_configs()
+            .into_iter()
+            .flat_map(|config| HpFusedMha { config }.symbolic_plans())
+            .collect();
+        verdicts.push(aggregate("hp-fused-mha", &plans));
+    }
 
     for v in &mut verdicts {
         if v.fully_proved() {
@@ -243,7 +262,7 @@ pub fn collect(device: &DeviceSpec) -> Vec<KernelStaticVerdict> {
     }
     assert_eq!(
         verdicts.len(),
-        1 + registry::SPMM_IDS.len() + 1 + registry::SDDMM_IDS.len(),
+        1 + registry::SPMM_IDS.len() + 1 + registry::SDDMM_IDS.len() + 1,
         "every registry kernel must get a verdict"
     );
     verdicts
@@ -284,6 +303,7 @@ pub fn collect_mutants(device: &DeviceSpec) -> Vec<MutantStaticVerdict> {
                 "mutant:oob-tail" => CheckKind::Bounds,
                 "mutant:racy-tail" => CheckKind::Race,
                 "mutant:uninit-acc" => CheckKind::Init,
+                "mutant:eager-norm" => CheckKind::Init,
                 other => panic!("unknown mutant {other}"),
             };
             let plans = m.symbolic_plans();
@@ -518,10 +538,10 @@ mod tests {
     fn acceptance_all_kernels_proved_and_mutants_refuted() {
         let out = run(&DeviceSpec::v100(), Effort::Quick);
         let kernels = out.json["kernels"].as_array().unwrap();
-        assert_eq!(kernels.len(), 15);
+        assert_eq!(kernels.len(), 16);
         assert_eq!(
             out.json["kernels_proved"].as_u64(),
-            Some(15),
+            Some(16),
             "{}",
             out.text
         );
@@ -533,7 +553,7 @@ mod tests {
         // The HP kernels aggregate over the full autotuner enumeration.
         assert!(kernels[0]["plans"].as_u64().unwrap() >= 18);
         let mutants = out.json["mutants"].as_array().unwrap();
-        assert_eq!(mutants.len(), 3);
+        assert_eq!(mutants.len(), 4);
         for m in mutants {
             assert_eq!(m["static"].as_str(), Some("refuted"), "{}", m["name"]);
             assert_eq!(m["caught"].as_bool(), Some(true), "{}", m["name"]);

@@ -6,7 +6,7 @@
 //! checker its defect targets, with a concrete counterexample attached.
 
 use hpsparse_core::baselines::registry;
-use hpsparse_core::hp::{HpConfig, HpSddmm, HpSpmm};
+use hpsparse_core::hp::{HpConfig, HpFusedMha, HpSddmm, HpSpmm};
 use hpsparse_core::mutants;
 use hpsparse_verify::{verify_plan, CheckKind, CheckVerdict};
 
@@ -69,6 +69,10 @@ fn hp_kernels_fully_proved_for_every_config() {
             &hpsparse_core::SddmmKernel::symbolic_plans(&sddmm),
             &mut failures,
         );
+        // The fused attention plan covers all three launches, including the
+        // shared-memory score tile and the L2 spill path.
+        let fused = HpFusedMha { config: cfg };
+        expect_all_proved("hp-fused-mha", &fused.symbolic_plans(), &mut failures);
     }
     assert!(failures.is_empty(), "{}", failures.join("\n"));
 }
@@ -93,6 +97,7 @@ fn mutants_statically_refuted_by_their_target_checker() {
         ("mutant:oob-tail", CheckKind::Bounds),
         ("mutant:racy-tail", CheckKind::Race),
         ("mutant:uninit-acc", CheckKind::Init),
+        ("mutant:eager-norm", CheckKind::Init),
     ];
     for m in mutants::all_mutants() {
         let expected = expectations

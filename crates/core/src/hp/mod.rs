@@ -5,12 +5,16 @@
 //!   chosen.
 //! * [`spmm`] — HP-SpMM (Algorithm 3).
 //! * [`sddmm`] — HP-SDDMM (Algorithm 4).
+//! * [`fused_mha`] — HP-Fused-MHA: one-kernel SDDMM + softmax + SpMM
+//!   multi-head attention with a shared-memory score tile.
 
 pub mod config;
+pub mod fused_mha;
 pub mod sddmm;
 pub mod spmm;
 
 pub use config::HpConfig;
+pub use fused_mha::{FusedMhaRun, HpFusedMha};
 pub use sddmm::HpSddmm;
 pub use spmm::{HpSpmm, HpSpmmLean};
 

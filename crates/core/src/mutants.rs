@@ -9,6 +9,13 @@
 //! | [`MutantOobTail`] | tile load runs one element past `col_ind` | memcheck |
 //! | [`MutantRacyTail`] | row flush de-atomicized to a plain store | racecheck |
 //! | [`MutantUninitAcc`] | accumulator read from `O` before any store | initcheck |
+//! | [`MutantEagerNorm`] | fused softmax normalizer reads scores in the launch that wrote them | initcheck |
+//!
+//! [`MutantEagerNorm`] is the fused-attention variant: it un-fuses the
+//! shared-memory score tile into a *global* scratch buffer but keeps the
+//! single launch, so the normalizer pass reads scores the kernel boundary
+//! has not yet made visible — the exact bug HP-Fused-MHA's spill path
+//! avoids by splitting into a score/apply launch pair.
 //!
 //! The mutants compute *correct numerics* (via the sequential reference)
 //! while mis-describing their memory traffic — the simulated analogue of a
@@ -317,12 +324,114 @@ impl SpmmKernel for MutantUninitAcc {
     }
 }
 
-/// The three mutants, boxed, for sweep-style callers.
+/// Initcheck mutant #2, seeded from the fused-attention pipeline: the
+/// softmax normalizer reads the score buffer in the *same launch* that
+/// wrote it. Each warp writes its padded score stripe to a global scratch
+/// buffer (disjoint across warps — no race) and immediately reads it back
+/// for the max/denominator passes. Store visibility is launch-granular,
+/// so every one of those reads is of memory no *finished* launch has
+/// initialised — initcheck, and only initcheck, must fire.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MutantEagerNorm;
+
+impl SpmmKernel for MutantEagerNorm {
+    fn name(&self) -> &'static str {
+        "mutant:eager-norm"
+    }
+
+    fn run_on(&self, sim: &mut GpuSim, s: &Hybrid, a: &Dense) -> Result<SpmmRun, FormatError> {
+        check_spmm_dims(s, a)?;
+        let nnz = s.nnz();
+        let m = s.rows();
+        let k = a.cols();
+        let row_buf = sim.alloc_input(nnz, "row_ind");
+        let col_buf = sim.alloc_input(nnz, "col_ind");
+        let val_buf = sim.alloc_input(nnz, "values");
+        sim.alloc_input(a.rows() * k, "A");
+        let o_buf = sim.alloc_output(m * k, "O");
+        let num_warps = nnz.div_ceil(NNZ_PER_WARP).max(1);
+        let score_buf = sim.alloc_scratch(num_warps * NNZ_PER_WARP, "scores");
+        let output = reference::spmm(s, a)?;
+        let row_ind = s.row_indices();
+
+        let launch = LaunchConfig {
+            num_warps: num_warps as u64,
+            resources: mutant_resources(),
+        };
+        let report = sim.launch_named(self.name(), launch, |warp_id, tally| {
+            let start = warp_id as usize * NNZ_PER_WARP;
+            let end = (start + NNZ_PER_WARP).min(nnz);
+            if start >= end {
+                return;
+            }
+            let len = (end - start) as u64;
+            for buf in [&row_buf, &col_buf, &val_buf] {
+                tally.global_read(buf.elem_addr(start as u64, 4), len * 4, 1);
+            }
+            // Scores go to the warp's padded global stripe…
+            let stripe = score_buf.elem_addr(start as u64, 4);
+            tally.global_write(stripe, NNZ_PER_WARP as u64 * 4, 1);
+            // BUG: …and the normalizer reads them back before any kernel
+            // boundary makes the stores visible.
+            tally.global_read(stripe, NNZ_PER_WARP as u64 * 4, 1);
+            let r = row_ind[start] as usize;
+            tally.global_atomic(o_buf.elem_addr((r * k) as u64, 4), k as u64 * 4);
+        });
+        Ok(SpmmRun {
+            output,
+            report,
+            preprocess: None,
+        })
+    }
+
+    fn symbolic_plans(&self) -> Vec<SymbolicPlan> {
+        let npw = NNZ_PER_WARP as i64;
+        let mut b = PlanBuilder::new(self.name(), &format!("npw={npw}"));
+        let m = b.param("m", 1);
+        let n = b.param("n", 1);
+        let nnz = b.param("nnz", 1);
+        let k = b.param("k", 1);
+        let row_buf = b.buffer("row_ind", SymBufferRole::Input, nnz.clone());
+        let col_buf = b.buffer("col_ind", SymBufferRole::Input, nnz.clone());
+        let val_buf = b.buffer("values", SymBufferRole::Input, nnz.clone());
+        b.buffer("A", SymBufferRole::Input, n * k.clone());
+        let o_buf = b.buffer("O", SymBufferRole::Output, m.clone() * k.clone());
+        let score_buf = b.buffer(
+            "scores",
+            SymBufferRole::Scratch,
+            nnz.clone().ceil_div(npw) * SymExpr::Const(npw),
+        );
+        let mut l = b.launch(self.name());
+        let chunk = l.axis("chunk", nnz.clone().ceil_div(npw));
+        let start = chunk * SymExpr::Const(npw);
+        let len = SymExpr::Const(npw).min(nnz - start.clone());
+        for buf in [row_buf, col_buf, val_buf] {
+            l.read(buf, start.clone(), len.clone());
+        }
+        l.write(score_buf, start.clone(), SymExpr::Const(npw));
+        // The seeded defect: a same-launch read of the just-written scratch
+        // — no *prior* launch covers it.
+        l.read(score_buf, start, SymExpr::Const(npw));
+        let r = l.data(
+            "r",
+            SymExpr::Const(0),
+            m - SymExpr::Const(1),
+            Distinct::No,
+            0,
+        );
+        l.atomic(o_buf, r * k.clone(), k);
+        l.done();
+        vec![b.build()]
+    }
+}
+
+/// The four mutants, boxed, for sweep-style callers.
 pub fn all_mutants() -> Vec<Box<dyn SpmmKernel>> {
     vec![
         Box::new(MutantOobTail),
         Box::new(MutantRacyTail),
         Box::new(MutantUninitAcc),
+        Box::new(MutantEagerNorm),
     ]
 }
 

@@ -9,12 +9,14 @@
 //! total CUDA computation time.
 
 use hpsparse_autotune::{
-    instantiate_sddmm, instantiate_spmm, GraphFingerprint, OpKind, Plan, PlanCache, PlanStrategy,
-    Planner,
+    edge_softmax_cycles, instantiate_fused_mha, instantiate_sddmm, instantiate_spmm,
+    GraphFingerprint, OpKind, Plan, PlanCache, PlanStrategy, Planner,
 };
 use hpsparse_core::baselines::{CusparseCsrAlg2, DglSddmm};
 use hpsparse_core::cpu;
-use hpsparse_core::hp::{HpSddmm, HpSpmm};
+use hpsparse_core::hp::{HpFusedMha, HpSddmm, HpSpmm};
+
+use crate::gat::edge_softmax;
 use hpsparse_core::traits::{SddmmKernel, SpmmKernel};
 use hpsparse_sim::{DeviceSpec, GpuSim};
 use hpsparse_sparse::{Dense, Hybrid};
@@ -44,8 +46,9 @@ pub fn elementwise_cycles(device: &DeviceSpec, elems: usize) -> u64 {
 /// sparse or dense operation by the accounting backends. Real frameworks
 /// issue hundreds of small launches per training iteration; this is what
 /// keeps tiny sampled-subgraph iterations from showing implausible
-/// kernel-swap speedups (≈ 3.5 µs at V100 clocks).
-pub const LAUNCH_OVERHEAD_CYCLES: u64 = 5_000;
+/// kernel-swap speedups (≈ 3.5 µs at V100 clocks). Shared with the
+/// autotuner so planned cycle estimates and backend accounting agree.
+pub const LAUNCH_OVERHEAD_CYCLES: u64 = hpsparse_autotune::LAUNCH_OVERHEAD_CYCLES;
 
 /// A sparse execution engine with time accounting.
 pub trait SparseBackend {
@@ -56,6 +59,19 @@ pub trait SparseBackend {
     /// Computes `S_O = (A1·A2ᵀᵀ) ⊙ S` (with `a2t` transposed), accounting
     /// its cost.
     fn sddmm(&mut self, s: &Hybrid, a1: &Dense, a2t: &Dense) -> Vec<f32>;
+    /// Multi-head masked attention: per head `h`,
+    /// `O_h = softmax_row((Q_h·K_hᵀ)⊙S / √d) · V_h`, returning the per-head
+    /// outputs and softmaxed attention weights (element-aligned with `s`).
+    /// Backends either fuse the whole batch into one simulated launch
+    /// (HP) or run the three-launch SDDMM → softmax → SpMM pipeline per
+    /// head ([`unfused_mha`]); both produce identical numerics.
+    fn mha(
+        &mut self,
+        s: &Hybrid,
+        q: &[Dense],
+        k: &[Dense],
+        v: &[Dense],
+    ) -> (Vec<Dense>, Vec<Vec<f32>>);
     /// Adds externally-estimated dense-op cycles to the tally.
     fn account_dense(&mut self, cycles: u64);
     /// Accumulated sparse-kernel cycles.
@@ -77,6 +93,40 @@ pub trait SparseBackend {
     }
     /// Clears the accumulated counters.
     fn reset_counters(&mut self);
+}
+
+/// The unfused attention pipeline any backend can fall back to: per head
+/// an SDDMM (scores = scaled masked dot products), a host edge softmax
+/// (accounted as a rooflined elementwise pass plus a launch), and an SpMM
+/// over the attention-weighted adjacency. Numerics match the fused kernel
+/// bit for bit — same score formula, same per-row softmax order, same
+/// element-order accumulation.
+pub fn unfused_mha(
+    backend: &mut dyn SparseBackend,
+    s: &Hybrid,
+    q: &[Dense],
+    k: &[Dense],
+    v: &[Dense],
+) -> (Vec<Dense>, Vec<Vec<f32>>) {
+    let device = backend.device().clone();
+    let d = q.first().map_or(1, Dense::cols);
+    let scale = 1.0 / (d as f32).sqrt();
+    let mut outputs = Vec::with_capacity(q.len());
+    let mut attn = Vec::with_capacity(q.len());
+    for h in 0..q.len() {
+        let scores: Vec<f32> = backend
+            .sddmm(s, &q[h], &k[h])
+            .into_iter()
+            .map(|e| e * scale)
+            .collect();
+        backend.account_dense(edge_softmax_cycles(&device, s.nnz()) + LAUNCH_OVERHEAD_CYCLES);
+        let weights = edge_softmax(s.row_indices(), &scores);
+        let mut weighted = s.clone();
+        weighted.set_values(weights.clone());
+        outputs.push(backend.spmm(&weighted, &v[h]));
+        attn.push(weights);
+    }
+    (outputs, attn)
 }
 
 /// Backend running the paper's HP kernels (auto DTP + HVMA per call).
@@ -118,6 +168,23 @@ impl SparseBackend for HpBackend {
             .expect("valid dims");
         self.sparse_cycles += run.report.cycles + LAUNCH_OVERHEAD_CYCLES;
         run.output_values
+    }
+
+    fn mha(
+        &mut self,
+        s: &Hybrid,
+        q: &[Dense],
+        k: &[Dense],
+        v: &[Dense],
+    ) -> (Vec<Dense>, Vec<Vec<f32>>) {
+        let device = self.sim.device().clone();
+        let kernel = HpFusedMha::auto(&device, s, q.first().map_or(1, Dense::cols));
+        let run = kernel
+            .run_on(&mut self.sim, s, q, k, v)
+            .expect("valid dims");
+        self.sparse_cycles +=
+            run.total_cycles() + run.reports.len() as u64 * LAUNCH_OVERHEAD_CYCLES;
+        (run.outputs, run.attn)
     }
 
     fn account_dense(&mut self, cycles: u64) {
@@ -184,6 +251,16 @@ impl SparseBackend for BaselineBackend {
             .expect("valid dims");
         self.sparse_cycles += run.report.cycles + LAUNCH_OVERHEAD_CYCLES;
         run.output_values
+    }
+
+    fn mha(
+        &mut self,
+        s: &Hybrid,
+        q: &[Dense],
+        k: &[Dense],
+        v: &[Dense],
+    ) -> (Vec<Dense>, Vec<Vec<f32>>) {
+        unfused_mha(self, s, q, k, v)
     }
 
     fn account_dense(&mut self, cycles: u64) {
@@ -282,9 +359,24 @@ impl AutoBackend {
         let plan = match op {
             OpKind::Spmm => self.planner.plan_spmm(s, k),
             OpKind::Sddmm => self.planner.plan_sddmm(s, k),
+            // Attention plans carry a head count in their key, so they go
+            // through `plan_mha_for` instead.
+            OpKind::FusedMha => unreachable!("fused-mha plans go through plan_mha_for"),
         };
         self.cache
             .insert(op, fp.key(), fp.canonical_encoding(), plan.clone());
+        plan
+    }
+
+    fn plan_mha_for(&mut self, s: &Hybrid, head_dim: usize, heads: usize) -> Plan {
+        let fp = GraphFingerprint::of(s, head_dim, self.sim.device());
+        let key = fp.mha_key(heads);
+        if let Some(plan) = self.cache.get(OpKind::FusedMha, key) {
+            return plan.clone();
+        }
+        let plan = self.planner.plan_mha(s, head_dim, heads);
+        self.cache
+            .insert(OpKind::FusedMha, key, fp.mha_encoding(heads), plan.clone());
         plan
     }
 }
@@ -318,6 +410,29 @@ impl SparseBackend for AutoBackend {
             + run.preprocess.as_ref().map_or(0, |p| p.cycles)
             + LAUNCH_OVERHEAD_CYCLES;
         run.output_values
+    }
+
+    fn mha(
+        &mut self,
+        s: &Hybrid,
+        q: &[Dense],
+        k: &[Dense],
+        v: &[Dense],
+    ) -> (Vec<Dense>, Vec<Vec<f32>>) {
+        let head_dim = q.first().map_or(1, Dense::cols);
+        let plan = self.plan_mha_for(s, head_dim, q.len());
+        if plan.kernel_id.starts_with("hp-fused-mha") {
+            let kernel = instantiate_fused_mha(&plan.candidate())
+                .unwrap_or_else(|| HpFusedMha::auto(self.sim.device(), s, head_dim));
+            let run = kernel
+                .run_on(&mut self.sim, s, q, k, v)
+                .expect("valid dims");
+            self.sparse_cycles +=
+                run.total_cycles() + run.reports.len() as u64 * LAUNCH_OVERHEAD_CYCLES;
+            (run.outputs, run.attn)
+        } else {
+            unfused_mha(self, s, q, k, v)
+        }
     }
 
     fn account_dense(&mut self, cycles: u64) {
@@ -379,6 +494,16 @@ impl SparseBackend for CpuBackend {
 
     fn sddmm(&mut self, s: &Hybrid, a1: &Dense, a2t: &Dense) -> Vec<f32> {
         cpu::par_sddmm(s, a1, a2t).expect("valid dims")
+    }
+
+    fn mha(
+        &mut self,
+        s: &Hybrid,
+        q: &[Dense],
+        k: &[Dense],
+        v: &[Dense],
+    ) -> (Vec<Dense>, Vec<Vec<f32>>) {
+        unfused_mha(self, s, q, k, v)
     }
 
     fn account_dense(&mut self, _cycles: u64) {}
@@ -538,5 +663,90 @@ mod tests {
                 assert!((x - y).abs() < 1e-4, "{}", b.name());
             }
         }
+    }
+
+    fn heads_for(rows: usize, d: usize, heads: usize, salt: usize) -> Vec<Dense> {
+        (0..heads)
+            .map(|h| {
+                Dense::from_fn(rows, d, |i, j| {
+                    (((i * 31 + j * 7 + h * 13 + salt * 3) % 17) as f32 - 8.0) * 0.1
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mha_backends_agree() {
+        let s = small_graph();
+        let q = heads_for(6, 16, 2, 0);
+        let k = heads_for(6, 16, 2, 1);
+        let v = heads_for(6, 16, 2, 2);
+        let mut cpu = CpuBackend::new();
+        let (expected_out, expected_attn) = cpu.mha(&s, &q, &k, &v);
+        let mut hp = HpBackend::new(DeviceSpec::v100());
+        let mut base = BaselineBackend::new(DeviceSpec::v100());
+        let mut auto = AutoBackend::new(DeviceSpec::v100());
+        for b in [&mut hp as &mut dyn SparseBackend, &mut base, &mut auto] {
+            let (out, attn) = b.mha(&s, &q, &k, &v);
+            assert_eq!(out.len(), 2, "{}", b.name());
+            for (h, o) in out.iter().enumerate() {
+                assert!(
+                    o.approx_eq(&expected_out[h], 1e-4, 1e-5),
+                    "{} head {h}",
+                    b.name()
+                );
+            }
+            for (h, w) in attn.iter().enumerate() {
+                for (x, y) in w.iter().zip(&expected_attn[h]) {
+                    assert!((x - y).abs() < 1e-4, "{} head {h}", b.name());
+                }
+            }
+        }
+        assert!(hp.sparse_cycles() > 0);
+        assert!(base.sparse_cycles() > 0);
+    }
+
+    #[test]
+    fn fused_mha_undercuts_the_three_launch_pipeline() {
+        let s = small_graph();
+        let q = heads_for(6, 16, 2, 0);
+        let k = heads_for(6, 16, 2, 1);
+        let v = heads_for(6, 16, 2, 2);
+        let mut fused = HpBackend::new(DeviceSpec::v100());
+        fused.mha(&s, &q, &k, &v);
+        let mut unfused = HpBackend::new(DeviceSpec::v100());
+        unfused_mha(&mut unfused, &s, &q, &k, &v);
+        assert!(
+            fused.sparse_cycles() < unfused.sparse_cycles(),
+            "fused {} must beat unfused {} at two heads",
+            fused.sparse_cycles(),
+            unfused.sparse_cycles()
+        );
+    }
+
+    #[test]
+    fn auto_backend_caches_mha_plans_per_head_count() {
+        let s = small_graph();
+        let q = heads_for(6, 16, 2, 0);
+        let k = heads_for(6, 16, 2, 1);
+        let v = heads_for(6, 16, 2, 2);
+        let mut auto = AutoBackend::new(DeviceSpec::v100());
+        auto.mha(&s, &q, &k, &v);
+        assert_eq!(auto.cache().misses(), 1);
+        let launches = auto.planning_sim_launches();
+        assert!(launches > 0, "measured strategy must simulate candidates");
+        auto.mha(&s, &q, &k, &v);
+        assert_eq!(auto.cache().hits(), 1);
+        assert_eq!(
+            auto.planning_sim_launches(),
+            launches,
+            "cache hit replans nothing"
+        );
+        // A different head count is a different knob setting: it replans.
+        let q4 = heads_for(6, 16, 4, 0);
+        let k4 = heads_for(6, 16, 4, 1);
+        let v4 = heads_for(6, 16, 4, 2);
+        auto.mha(&s, &q4, &k4, &v4);
+        assert_eq!(auto.cache().misses(), 2);
     }
 }

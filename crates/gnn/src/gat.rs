@@ -187,6 +187,22 @@ pub struct GatCache {
     x: Dense,
 }
 
+impl GatCache {
+    /// Assembles a cache from externally-computed activations — the
+    /// batched multi-head path ([`crate::mha::SparseMha`]) projects all
+    /// heads itself and runs one fused attention call, then rebuilds a
+    /// per-head cache so [`GatLayer::backward`] works unchanged.
+    pub(crate) fn from_parts(q: Dense, k: Dense, v: Dense, weights: Vec<f32>, x: Dense) -> Self {
+        Self {
+            q,
+            k,
+            v,
+            weights,
+            x,
+        }
+    }
+}
+
 /// Gradients of the three projection matrices.
 pub struct GatGrads {
     /// Query-projection gradient.

@@ -19,13 +19,18 @@ pub mod gat;
 pub mod gat_model;
 pub mod gcn;
 pub mod linalg;
+pub mod mha;
 pub mod sage;
 pub mod train;
 
 pub use backend::{
-    dense_gemm_cycles, AutoBackend, BaselineBackend, CpuBackend, HpBackend, SparseBackend,
+    dense_gemm_cycles, unfused_mha, AutoBackend, BaselineBackend, CpuBackend, HpBackend,
+    SparseBackend,
 };
 pub use gat_model::{GatAdam, GatConfig, GatModel};
 pub use gcn::{Adam, Gcn, GcnConfig};
+pub use mha::{
+    GraphTransformer, MhaCache, SparseMha, TransformerAdam, TransformerConfig, TransformerGrads,
+};
 pub use sage::{mean_operator, Sage, SageAdam, SageConfig};
 pub use train::{train_full_graph, train_graph_sampling, TrainConfig, TrainStats};

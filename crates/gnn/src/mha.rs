@@ -1,0 +1,549 @@
+//! Batched sparse multi-head attention and a graph-transformer model.
+//!
+//! [`GatModel`](crate::gat_model::GatModel) runs its heads one at a time —
+//! each head pays the full SDDMM → edge-softmax → SpMM pipeline, three
+//! kernel launches and a round trip of per-edge scores through DRAM.
+//! [`SparseMha`] batches all heads into *one* [`SparseBackend::mha`] call,
+//! which fuses the pipeline into a single launch on backends that support
+//! it (scores live in shared memory, never touching DRAM) and falls back
+//! to the three-launch pipeline elsewhere. The numerics are identical
+//! either way, so the backward pass reuses [`GatLayer::backward`] per head
+//! unchanged.
+
+use crate::backend::{dense_gemm_cycles, SparseBackend, LAUNCH_OVERHEAD_CYCLES};
+use crate::gat::{GatCache, GatGrads, GatLayer};
+use crate::gcn::Adam;
+use crate::linalg;
+use hpsparse_sparse::{Dense, Hybrid};
+
+/// Multi-head sparse attention over a shared graph: H projection triples
+/// (one [`GatLayer`] per head) feeding one batched attention call.
+pub struct SparseMha {
+    /// Per-head projections. Seeding matches
+    /// [`GatModel`](crate::gat_model::GatModel) head for head, so a
+    /// `SparseMha` and a `GatModel` built from the same seed compute the
+    /// same function.
+    pub heads: Vec<GatLayer>,
+}
+
+/// Forward cache for [`SparseMha::backward`]: one [`GatCache`] per head,
+/// assembled from the batched call's activations.
+pub struct MhaCache {
+    head_caches: Vec<GatCache>,
+}
+
+impl SparseMha {
+    /// Deterministic initialisation; head `h` uses seed
+    /// `seed + h·7919` exactly like the per-head model.
+    pub fn new(in_dim: usize, head_dim: usize, heads: usize, seed: u64) -> Self {
+        Self {
+            heads: (0..heads)
+                .map(|h| GatLayer::new(in_dim, head_dim, seed.wrapping_add(h as u64 * 7919)))
+                .collect(),
+        }
+    }
+
+    /// Head dimension (columns of each value projection).
+    pub fn head_dim(&self) -> usize {
+        self.heads[0].wv.cols()
+    }
+
+    /// Forward pass: projects Q/K/V for every head, runs one batched
+    /// attention call, and concatenates the head outputs into an
+    /// `n × (H·head_dim)` matrix.
+    pub fn forward_cached(
+        &self,
+        backend: &mut dyn SparseBackend,
+        s: &Hybrid,
+        x: &Dense,
+    ) -> (Dense, MhaCache) {
+        let device = backend.device().clone();
+        let n = x.rows();
+        let d = self.head_dim();
+        let mut qs = Vec::with_capacity(self.heads.len());
+        let mut ks = Vec::with_capacity(self.heads.len());
+        let mut vs = Vec::with_capacity(self.heads.len());
+        for head in &self.heads {
+            for w in [&head.wq, &head.wk, &head.wv] {
+                backend.account_dense(dense_gemm_cycles(&device, n, x.cols(), w.cols()));
+            }
+            qs.push(linalg::matmul(x, &head.wq));
+            ks.push(linalg::matmul(x, &head.wk));
+            vs.push(linalg::matmul(x, &head.wv));
+        }
+
+        // Unit-valued mask: the attention score is the pure scaled dot
+        // product, exactly as in `GatLayer::forward_cached`.
+        let mut mask = s.clone();
+        mask.set_values(vec![1.0; s.nnz()]);
+        let (outs, attn) = backend.mha(&mask, &qs, &ks, &vs);
+
+        let mut concat = Dense::zeros(n, self.heads.len() * d);
+        let mut head_caches = Vec::with_capacity(self.heads.len());
+        for (h, (out, weights)) in outs.into_iter().zip(attn).enumerate() {
+            for i in 0..n {
+                concat.row_mut(i)[h * d..(h + 1) * d].copy_from_slice(out.row(i));
+            }
+            head_caches.push(GatCache::from_parts(
+                qs[h].clone(),
+                ks[h].clone(),
+                vs[h].clone(),
+                weights,
+                x.clone(),
+            ));
+        }
+        (concat, MhaCache { head_caches })
+    }
+
+    /// Backward pass from the gradient w.r.t. the concatenated output.
+    /// Delegates to [`GatLayer::backward`] per head (the cached
+    /// activations are identical to the per-head pipeline's) and sums the
+    /// input gradients.
+    pub fn backward(
+        &self,
+        backend: &mut dyn SparseBackend,
+        s: &Hybrid,
+        cache: &MhaCache,
+        d_concat: &Dense,
+    ) -> (Vec<GatGrads>, Dense) {
+        let n = d_concat.rows();
+        let d = self.head_dim();
+        let mut head_grads = Vec::with_capacity(self.heads.len());
+        let mut d_x: Option<Dense> = None;
+        for (h, head) in self.heads.iter().enumerate() {
+            let mut d_head = Dense::zeros(n, d);
+            for i in 0..n {
+                d_head
+                    .row_mut(i)
+                    .copy_from_slice(&d_concat.row(i)[h * d..(h + 1) * d]);
+            }
+            let (grads, dx_h) = head.backward(backend, s, &cache.head_caches[h], &d_head);
+            head_grads.push(grads);
+            match &mut d_x {
+                None => d_x = Some(dx_h),
+                Some(acc) => {
+                    for (a, b) in acc.data_mut().iter_mut().zip(dx_h.data()) {
+                        *a += b;
+                    }
+                }
+            }
+        }
+        (head_grads, d_x.expect("at least one head"))
+    }
+}
+
+/// Graph-transformer shape.
+#[derive(Debug, Clone, Copy)]
+pub struct TransformerConfig {
+    /// Input feature dimension.
+    pub in_dim: usize,
+    /// Dimension of each attention head.
+    pub head_dim: usize,
+    /// Number of attention heads.
+    pub heads: usize,
+    /// Hidden width of the feed-forward block.
+    pub ffn_dim: usize,
+    /// Output classes.
+    pub classes: usize,
+    /// Weight-init seed.
+    pub seed: u64,
+}
+
+/// A single-block graph transformer: batched sparse multi-head attention,
+/// a ReLU feed-forward layer over the concatenated heads, and a linear
+/// classifier. Every training step drives the fused attention kernel
+/// forward and the SDDMM/SpMM pair backward.
+pub struct GraphTransformer {
+    /// The batched attention block.
+    pub attn: SparseMha,
+    /// Feed-forward weights (`heads·head_dim × ffn_dim`).
+    pub w_ff: Dense,
+    /// Classifier weights (`ffn_dim × classes`).
+    pub w_out: Dense,
+}
+
+/// Forward cache for [`GraphTransformer::backward`].
+pub struct TransformerCache {
+    attn: MhaCache,
+    concat: Dense,
+    ffn_pre: Dense,
+    ffn: Dense,
+}
+
+/// Parameter gradients.
+pub struct TransformerGrads {
+    /// Per-head projection gradients.
+    pub heads: Vec<GatGrads>,
+    /// Feed-forward gradient.
+    pub w_ff: Dense,
+    /// Classifier gradient.
+    pub w_out: Dense,
+}
+
+fn xavier_init(rows: usize, cols: usize, seed: u64) -> Dense {
+    let limit = (6.0 / (rows + cols) as f64).sqrt() as f32;
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        ((state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0)
+            as f32
+            * limit
+    };
+    Dense::from_fn(rows, cols, |_, _| next())
+}
+
+impl GraphTransformer {
+    /// Deterministic initialisation.
+    pub fn new(config: TransformerConfig) -> Self {
+        let width = config.heads * config.head_dim;
+        Self {
+            attn: SparseMha::new(config.in_dim, config.head_dim, config.heads, config.seed),
+            w_ff: xavier_init(width, config.ffn_dim, config.seed.wrapping_add(104_729)),
+            w_out: xavier_init(
+                config.ffn_dim,
+                config.classes,
+                config.seed.wrapping_add(1_299_709),
+            ),
+        }
+    }
+
+    /// Forward pass to logits.
+    pub fn forward(
+        &self,
+        backend: &mut dyn SparseBackend,
+        s: &Hybrid,
+        x: &Dense,
+    ) -> (Dense, TransformerCache) {
+        let device = backend.device().clone();
+        let n = x.rows();
+        let (concat, attn_cache) = self.attn.forward_cached(backend, s, x);
+        backend.account_dense(
+            dense_gemm_cycles(&device, n, concat.cols(), self.w_ff.cols())
+                + dense_gemm_cycles(&device, n, self.w_ff.cols(), self.w_out.cols())
+                + 2 * LAUNCH_OVERHEAD_CYCLES,
+        );
+        let ffn_pre = linalg::matmul(&concat, &self.w_ff);
+        let mut ffn = ffn_pre.clone();
+        linalg::relu(&mut ffn);
+        let logits = linalg::matmul(&ffn, &self.w_out);
+        (
+            logits,
+            TransformerCache {
+                attn: attn_cache,
+                concat,
+                ffn_pre,
+                ffn,
+            },
+        )
+    }
+
+    /// Backward pass from the logits gradient.
+    pub fn backward(
+        &self,
+        backend: &mut dyn SparseBackend,
+        s: &Hybrid,
+        cache: &TransformerCache,
+        grad_logits: &Dense,
+    ) -> TransformerGrads {
+        let w_out_grad = linalg::matmul_transpose_a(&cache.ffn, grad_logits);
+        let mut d_ffn = linalg::matmul_transpose_b(grad_logits, &self.w_out);
+        linalg::relu_backward(&mut d_ffn, &cache.ffn_pre);
+        let w_ff_grad = linalg::matmul_transpose_a(&cache.concat, &d_ffn);
+        let d_concat = linalg::matmul_transpose_b(&d_ffn, &self.w_ff);
+        let (heads, _d_x) = self.attn.backward(backend, s, &cache.attn, &d_concat);
+        TransformerGrads {
+            heads,
+            w_ff: w_ff_grad,
+            w_out: w_out_grad,
+        }
+    }
+}
+
+/// Adam over the transformer's parameters.
+pub struct TransformerAdam {
+    lr: f32,
+    t: i32,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl TransformerAdam {
+    /// Builds optimiser state shaped after `model`.
+    pub fn new(model: &GraphTransformer, lr: f32) -> Self {
+        let mut sizes = Vec::new();
+        for head in &model.attn.heads {
+            for w in [&head.wq, &head.wk, &head.wv] {
+                sizes.push(w.data().len());
+            }
+        }
+        sizes.push(model.w_ff.data().len());
+        sizes.push(model.w_out.data().len());
+        Self {
+            lr,
+            t: 0,
+            m: sizes.iter().map(|&s| vec![0.0; s]).collect(),
+            v: sizes.iter().map(|&s| vec![0.0; s]).collect(),
+        }
+    }
+
+    /// Applies one update.
+    pub fn step(&mut self, model: &mut GraphTransformer, grads: &TransformerGrads) {
+        self.t += 1;
+        let (b1, b2, eps) = (0.9f32, 0.999f32, 1e-8f32);
+        let bc1 = 1.0 - b1.powi(self.t);
+        let bc2 = 1.0 - b2.powi(self.t);
+        let mut slot = 0;
+        for (head, hg) in model.attn.heads.iter_mut().zip(&grads.heads) {
+            for (w, g) in [
+                (&mut head.wq, &hg.wq),
+                (&mut head.wk, &hg.wk),
+                (&mut head.wv, &hg.wv),
+            ] {
+                Adam::update(
+                    w.data_mut(),
+                    g.data(),
+                    &mut self.m[slot],
+                    &mut self.v[slot],
+                    self.lr,
+                    b1,
+                    b2,
+                    eps,
+                    bc1,
+                    bc2,
+                );
+                slot += 1;
+            }
+        }
+        for (w, g) in [
+            (&mut model.w_ff, &grads.w_ff),
+            (&mut model.w_out, &grads.w_out),
+        ] {
+            Adam::update(
+                w.data_mut(),
+                g.data(),
+                &mut self.m[slot],
+                &mut self.v[slot],
+                self.lr,
+                b1,
+                b2,
+                eps,
+                bc1,
+                bc2,
+            );
+            slot += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{BaselineBackend, CpuBackend, HpBackend};
+    use hpsparse_sim::DeviceSpec;
+    use hpsparse_sparse::Graph;
+
+    fn two_cluster_graph() -> (Hybrid, Dense, Vec<u32>) {
+        let mut edges = Vec::new();
+        for base in [0u32, 12] {
+            for i in 0..12u32 {
+                for j in 0..12u32 {
+                    if i != j && (i + j) % 3 == 0 {
+                        edges.push((base + i, base + j));
+                    }
+                }
+            }
+        }
+        let g = Graph::from_edges(24, &edges).with_self_loops();
+        let s = g.to_hybrid();
+        let x = Dense::from_fn(24, 8, |i, j| {
+            let cluster = if i < 12 { 1.0 } else { -1.0 };
+            cluster * ((j + 1) as f32 * 0.2) + ((i * 8 + j) as f32 * 0.01).sin()
+        });
+        let y: Vec<u32> = (0..24).map(|i| u32::from(i >= 12)).collect();
+        (s, x, y)
+    }
+
+    /// The batched call must compute exactly what running each head
+    /// through the per-head [`GatLayer`] pipeline computes — on the fused
+    /// HP backend, the unfused baseline, and the CPU alike.
+    #[test]
+    fn batched_heads_match_per_head_pipeline_on_every_backend() {
+        let (s, x, _) = two_cluster_graph();
+        let mha = SparseMha::new(8, 6, 2, 5);
+
+        // Per-head reference on the CPU backend.
+        let mut cpu = CpuBackend::new();
+        let d = mha.head_dim();
+        let mut expected = Dense::zeros(24, mha.heads.len() * d);
+        for (h, head) in mha.heads.iter().enumerate() {
+            let (out, _) = head.forward(&mut cpu, &s, &x);
+            for i in 0..24 {
+                expected.row_mut(i)[h * d..(h + 1) * d].copy_from_slice(out.row(i));
+            }
+        }
+
+        let mut hp = HpBackend::new(DeviceSpec::v100());
+        let mut base = BaselineBackend::new(DeviceSpec::v100());
+        let mut cpu2 = CpuBackend::new();
+        for b in [&mut hp as &mut dyn SparseBackend, &mut base, &mut cpu2] {
+            let (concat, _) = mha.forward_cached(b, &s, &x);
+            assert!(
+                concat.approx_eq(&expected, 1e-4, 1e-5),
+                "{} batched output drifts from per-head pipeline",
+                b.name()
+            );
+        }
+        assert!(hp.sparse_cycles() > 0, "fused path must be accounted");
+    }
+
+    /// The fused path's cached activations feed the same backward pass:
+    /// gradients from the batched layer must match per-head gradients.
+    #[test]
+    fn batched_backward_matches_per_head_backward() {
+        let (s, x, _) = two_cluster_graph();
+        let mha = SparseMha::new(8, 4, 2, 7);
+        let d = mha.head_dim();
+
+        let mut hp = HpBackend::new(DeviceSpec::v100());
+        let (concat, cache) = mha.forward_cached(&mut hp, &s, &x);
+        let d_concat = Dense::from_fn(concat.rows(), concat.cols(), |i, j| {
+            ((i * 3 + j) as f32 * 0.07).cos()
+        });
+        let (grads, d_x) = mha.backward(&mut hp, &s, &cache, &d_concat);
+
+        let mut cpu = CpuBackend::new();
+        let mut expected_dx: Option<Dense> = None;
+        for (h, head) in mha.heads.iter().enumerate() {
+            let (_, _, head_cache) = head.forward_cached(&mut cpu, &s, &x);
+            let mut d_head = Dense::zeros(concat.rows(), d);
+            for i in 0..concat.rows() {
+                d_head
+                    .row_mut(i)
+                    .copy_from_slice(&d_concat.row(i)[h * d..(h + 1) * d]);
+            }
+            let (hg, dx_h) = head.backward(&mut cpu, &s, &head_cache, &d_head);
+            assert!(grads[h].wq.approx_eq(&hg.wq, 1e-3, 1e-4), "head {h} wq");
+            assert!(grads[h].wk.approx_eq(&hg.wk, 1e-3, 1e-4), "head {h} wk");
+            assert!(grads[h].wv.approx_eq(&hg.wv, 1e-3, 1e-4), "head {h} wv");
+            match &mut expected_dx {
+                None => expected_dx = Some(dx_h),
+                Some(acc) => {
+                    for (a, b) in acc.data_mut().iter_mut().zip(dx_h.data()) {
+                        *a += b;
+                    }
+                }
+            }
+        }
+        assert!(d_x.approx_eq(&expected_dx.unwrap(), 1e-3, 1e-4), "d_x");
+    }
+
+    #[test]
+    fn transformer_training_reduces_loss_and_classifies_clusters() {
+        let (s, x, y) = two_cluster_graph();
+        let mut model = GraphTransformer::new(TransformerConfig {
+            in_dim: 8,
+            head_dim: 6,
+            heads: 2,
+            ffn_dim: 16,
+            classes: 2,
+            seed: 5,
+        });
+        let mut opt = TransformerAdam::new(&model, 0.03);
+        let mut backend = CpuBackend::new();
+        let mut first = None;
+        let mut last = 0.0;
+        let mut final_acc = 0.0;
+        for _ in 0..60 {
+            let (logits, cache) = model.forward(&mut backend, &s, &x);
+            let (loss, grad) = linalg::softmax_cross_entropy(&logits, &y);
+            let grads = model.backward(&mut backend, &s, &cache, &grad);
+            opt.step(&mut model, &grads);
+            first.get_or_insert(loss);
+            last = loss;
+            final_acc = linalg::accuracy(&logits, &y);
+        }
+        assert!(
+            last < first.unwrap() * 0.5,
+            "loss {} -> {last}",
+            first.unwrap()
+        );
+        assert!(final_acc > 0.9, "accuracy {final_acc}");
+    }
+
+    #[test]
+    fn transformer_gradient_check_classifier_and_ffn() {
+        let (s, x, y) = two_cluster_graph();
+        let mut model = GraphTransformer::new(TransformerConfig {
+            in_dim: 8,
+            head_dim: 4,
+            heads: 1,
+            ffn_dim: 8,
+            classes: 2,
+            seed: 3,
+        });
+        let mut backend = CpuBackend::new();
+        let (logits, cache) = model.forward(&mut backend, &s, &x);
+        let (_, grad) = linalg::softmax_cross_entropy(&logits, &y);
+        let grads = model.backward(&mut backend, &s, &cache, &grad);
+        let eps = 1e-2f32;
+        for idx in [0usize, 3, 7] {
+            for which in 0..2 {
+                let get = |m: &GraphTransformer| match which {
+                    0 => m.w_out.data()[idx],
+                    _ => m.w_ff.data()[idx],
+                };
+                let set = |m: &mut GraphTransformer, v: f32| match which {
+                    0 => m.w_out.data_mut()[idx] = v,
+                    _ => m.w_ff.data_mut()[idx] = v,
+                };
+                let orig = get(&model);
+                set(&mut model, orig + eps);
+                let (lg, _) = model.forward(&mut backend, &s, &x);
+                let (lp, _) = linalg::softmax_cross_entropy(&lg, &y);
+                set(&mut model, orig - eps);
+                let (lg, _) = model.forward(&mut backend, &s, &x);
+                let (lm, _) = linalg::softmax_cross_entropy(&lg, &y);
+                set(&mut model, orig);
+                let numeric = (lp - lm) / (2.0 * eps);
+                let analytic = match which {
+                    0 => grads.w_out.data()[idx],
+                    _ => grads.w_ff.data()[idx],
+                };
+                assert!(
+                    (numeric - analytic).abs() < 2e-2,
+                    "which {which} idx {idx}: {numeric} vs {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transformer_trains_on_the_fused_backend_too() {
+        let (s, x, y) = two_cluster_graph();
+        let mut model = GraphTransformer::new(TransformerConfig {
+            in_dim: 8,
+            head_dim: 4,
+            heads: 2,
+            ffn_dim: 8,
+            classes: 2,
+            seed: 11,
+        });
+        let mut opt = TransformerAdam::new(&model, 0.03);
+        let mut backend = HpBackend::new(DeviceSpec::v100());
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..15 {
+            let (logits, cache) = model.forward(&mut backend, &s, &x);
+            let (loss, grad) = linalg::softmax_cross_entropy(&logits, &y);
+            let grads = model.backward(&mut backend, &s, &cache, &grad);
+            opt.step(&mut model, &grads);
+            first.get_or_insert(loss);
+            last = loss;
+        }
+        assert!(last < first.unwrap(), "loss {} -> {last}", first.unwrap());
+        assert!(backend.sparse_cycles() > 0);
+        assert!(backend.dense_cycles() > 0);
+    }
+}

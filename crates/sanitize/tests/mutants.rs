@@ -114,6 +114,7 @@ fn each_mutant_trips_exactly_its_intended_checker() {
             "mutant:oob-tail" => Checker::Memcheck,
             "mutant:racy-tail" => Checker::Racecheck,
             "mutant:uninit-acc" => Checker::Initcheck,
+            "mutant:eager-norm" => Checker::Initcheck,
             other => panic!("unknown mutant {other}"),
         };
         let report = sanitized_spmm(mutant.as_ref(), &s, &a);

@@ -78,6 +78,22 @@ fn probe_set(ways: &mut [u32], key: u32) -> bool {
     }
 }
 
+/// Streaming (evict-first) probe of one recency-ordered set, modelling an
+/// access inside an `ld.global.cs` / `cudaAccessPropertyStreaming` policy
+/// window: a hit is served from the set without promoting the line, and a
+/// miss installs the new line in the LRU way — so it is the set's next
+/// victim and never displaces a reusable (MRU-side) line. Empty ways
+/// accumulate at the tail, so the overwritten way is an empty slot
+/// whenever one exists.
+#[inline]
+fn probe_set_streaming(ways: &mut [u32], key: u32) -> bool {
+    if ways.contains(&key) {
+        return true;
+    }
+    *ways.last_mut().expect("cache sets are never empty") = key;
+    false
+}
+
 /// A set-associative, LRU-replacement cache over 32-byte sectors.
 #[derive(Debug, Clone)]
 pub struct SectorCache {
@@ -163,6 +179,36 @@ impl SectorCache {
         let mut hits = 0;
         for sector in first_sector..first_sector.saturating_add(n) {
             if self.access_sector(sector) {
+                hits += 1;
+            }
+        }
+        hits
+    }
+
+    /// The streaming (evict-first) counterpart of
+    /// [`SectorCache::access_sector`]: hits are served without a recency
+    /// promotion, misses install the line in the LRU way so it is the
+    /// set's next victim instead of displacing a reusable line.
+    #[inline]
+    pub fn access_sector_streaming(&mut self, sector: u64) -> bool {
+        debug_assert!(
+            sector >> self.set_bits <= (u32::MAX >> EPOCH_BITS) as u64,
+            "sector tag overflow"
+        );
+        let key = ((sector >> self.set_bits) as u32) << EPOCH_BITS | self.epoch;
+        let set = (sector as usize) & (self.num_sets - 1);
+        let base = set * self.assoc;
+        let hit = probe_set_streaming(&mut self.ways[base..base + self.assoc], key);
+        self.hits += u64::from(hit);
+        self.misses += u64::from(!hit);
+        hit
+    }
+
+    /// The streaming counterpart of [`SectorCache::access_run`].
+    pub fn access_run_streaming(&mut self, first_sector: u64, n: u64) -> u64 {
+        let mut hits = 0;
+        for sector in first_sector..first_sector.saturating_add(n) {
+            if self.access_sector_streaming(sector) {
                 hits += 1;
             }
         }
@@ -361,6 +407,36 @@ impl CacheShard<'_> {
         let mut hits = 0;
         for sector in first_sector..first_sector.saturating_add(n) {
             if self.access_sector(sector) {
+                hits += 1;
+            }
+        }
+        hits
+    }
+
+    /// The streaming (evict-first) counterpart of
+    /// [`CacheShard::access_sector`], matching
+    /// [`SectorCache::access_sector_streaming`] exactly so sharded replay
+    /// reproduces the sequential engines.
+    #[inline]
+    pub fn access_sector_streaming(&mut self, sector: u64) -> bool {
+        debug_assert!(
+            sector >> self.set_bits <= (u32::MAX >> EPOCH_BITS) as u64,
+            "sector tag overflow"
+        );
+        let key = ((sector >> self.set_bits) as u32) << EPOCH_BITS | self.epoch;
+        let base = ((sector as usize) & self.local_mask) * self.assoc;
+        debug_assert!(base + self.assoc <= self.ways.len(), "sector not in shard");
+        let hit = probe_set_streaming(&mut self.ways[base..base + self.assoc], key);
+        self.hits += u64::from(hit);
+        self.misses += u64::from(!hit);
+        hit
+    }
+
+    /// The streaming counterpart of [`CacheShard::access_run`].
+    pub fn access_run_streaming(&mut self, first_sector: u64, n: u64) -> u64 {
+        let mut hits = 0;
+        for sector in first_sector..first_sector.saturating_add(n) {
+            if self.access_sector_streaming(sector) {
                 hits += 1;
             }
         }

@@ -734,7 +734,11 @@ fn replay_chunk(
             }
             sc.spawn(move |_| {
                 for op in ops {
-                    hits[op.warp_rel as usize] += shard.access_run(op.first_sector, op.n as u64);
+                    hits[op.warp_rel as usize] += if op.is_streaming() {
+                        shard.access_run_streaming(op.first_sector, op.len())
+                    } else {
+                        shard.access_run(op.first_sector, op.len())
+                    };
                 }
             });
         }

@@ -310,6 +310,14 @@ pub enum SymBufferRole {
     Output,
     /// Device scratch space.
     Scratch,
+    /// Modeled per-block shared memory. Visibility is same-launch and
+    /// program-order: a warp's read is initialised by its own textually
+    /// earlier store in the *same* launch (there is no cross-launch
+    /// persistence — the tile dies with the block). Accesses are resident
+    /// on-chip and never probe L2/DRAM; the static checkers model the
+    /// per-block copies as disjoint per-warp slices of one launch-wide
+    /// index space, which is strictly conservative.
+    Shared,
 }
 
 /// A declared buffer with a symbolic element count.

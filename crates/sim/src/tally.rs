@@ -63,11 +63,34 @@ use crate::sink::{AccessEvent, AccessKind, AccessSink};
 pub struct ProbeOp {
     /// First sector of the run.
     pub first_sector: u64,
-    /// Run length in sectors (runs are pre-split at shard boundaries, so a
-    /// `u32` is ample; oversized runs split into multiple ops).
+    /// Run length in sectors, with [`ProbeOp::STREAM_BIT`] folded into the
+    /// high bit (runs are pre-split at shard boundaries, so 31 bits are
+    /// ample; oversized runs split into multiple ops).
     pub n: u32,
     /// Chunk-relative index of the issuing warp (for hit attribution).
     pub warp_rel: u32,
+}
+
+impl ProbeOp {
+    /// High bit of [`ProbeOp::n`]: the run is a streaming (evict-first)
+    /// probe and must replay through the cache's streaming path.
+    pub const STREAM_BIT: u32 = 1 << 31;
+
+    /// Run length in sectors.
+    pub fn len(&self) -> u64 {
+        u64::from(self.n & !Self::STREAM_BIT)
+    }
+
+    /// Whether the run is empty (never pushed by the log, but part of the
+    /// `len`/`is_empty` contract).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the run replays through the streaming (evict-first) path.
+    pub fn is_streaming(&self) -> bool {
+        self.n & Self::STREAM_BIT != 0
+    }
 }
 
 /// Capture-phase probe descriptor log: every L2 probe the tally would have
@@ -137,6 +160,18 @@ impl ProbeLog {
 
     #[inline]
     fn push_run(&mut self, first_sector: u64, n: u64) {
+        self.push_run_tagged(first_sector, n, 0);
+    }
+
+    /// [`ProbeLog::push_run`] for a streaming (evict-first) run: the ops
+    /// carry [`ProbeOp::STREAM_BIT`] so replay takes the streaming path.
+    #[inline]
+    fn push_run_streaming(&mut self, first_sector: u64, n: u64) {
+        self.push_run_tagged(first_sector, n, ProbeOp::STREAM_BIT);
+    }
+
+    #[inline]
+    fn push_run_tagged(&mut self, first_sector: u64, n: u64, tag: u32) {
         if n == 0 {
             return;
         }
@@ -146,10 +181,10 @@ impl ProbeLog {
             let bucket = &mut self.shards[shard];
             let mut done = 0;
             while done < seg_n {
-                let take = (seg_n - done).min(u32::MAX as u64);
+                let take = (seg_n - done).min(u64::from(!ProbeOp::STREAM_BIT));
                 bucket.push(ProbeOp {
                     first_sector: seg_first + done,
-                    n: take as u32,
+                    n: take as u32 | tag,
                     warp_rel: rel,
                 });
                 done += take;
@@ -190,6 +225,19 @@ impl Probes<'_> {
             Probes::Live(cache) => cache.access_run(first_sector, n),
             Probes::Capture(log) => {
                 log.push_run(first_sector, n);
+                0
+            }
+        }
+    }
+
+    /// Probes a contiguous run through the streaming (evict-first) path,
+    /// returning live hits (0 in capture).
+    #[inline]
+    fn probe_run_streaming(&mut self, first_sector: u64, n: u64) -> u64 {
+        match self {
+            Probes::Live(cache) => cache.access_run_streaming(first_sector, n),
+            Probes::Capture(log) => {
+                log.push_run_streaming(first_sector, n);
                 0
             }
         }
@@ -588,6 +636,32 @@ impl<'a> WarpTally<'a> {
         self.touch(addr, len_bytes);
     }
 
+    /// A coalesced warp read issued with the streaming (evict-first) cache
+    /// hint — `ld.global.cs`, or an Ampere `accessPolicyWindow` marked
+    /// `cudaAccessPropertyStreaming`: a sector already in L2 still hits,
+    /// but a miss installs the line in its set's LRU way, so a single-use
+    /// stream never displaces reusable lines. Instruction, byte, and sink
+    /// accounting match [`WarpTally::global_read`]; the probes replay
+    /// through the same capture pipeline as cached reads (tagged with
+    /// [`ProbeOp::STREAM_BIT`]), so every engine sees the same hit/miss
+    /// sequence.
+    pub fn global_read_streaming(&mut self, addr: u64, len_bytes: u64, vw: u32) {
+        if !self.probing() {
+            let eff_vw = if vector_aligned(addr, vw) { vw } else { 1 };
+            let elems = len_bytes / 4;
+            let per_instr = self.warp_size as u64 * eff_vw as u64;
+            self.counters.instructions += elems.div_ceil(per_instr).max(u64::from(len_bytes > 0));
+            self.emit(AccessKind::Read, addr, len_bytes, eff_vw);
+            self.counters.global_bytes += len_bytes;
+        }
+        if len_bytes > 0 {
+            let first = addr / SECTOR_BYTES as u64;
+            let n = (addr + len_bytes - 1) / SECTOR_BYTES as u64 - first + 1;
+            let hits = self.probes.probe_run_streaming(first, n);
+            self.probe_tally(hits, n);
+        }
+    }
+
     /// A coalesced warp write, same shape as [`WarpTally::global_read`].
     pub fn global_write(&mut self, addr: u64, len_bytes: u64, vw: u32) {
         if !self.probing() {
@@ -844,11 +918,48 @@ impl<'a> WarpTally<'a> {
         self.touch(addr, len_bytes);
     }
 
+    /// A warp-level global atomic issued inside an evict-first access-policy
+    /// window (Ampere `cudaAccessPropertyStreaming`): the atomic still
+    /// resolves in an L2 partition — ordering and the [`AccessKind::Atomic`]
+    /// sanitizer record are unchanged — but a missing line is installed in
+    /// its set's LRU way, so an output region touched once (or by a burst
+    /// of temporally-adjacent warps) never displaces reusable lines. The
+    /// probes replay through the same capture pipeline as cached atomics
+    /// (tagged with [`ProbeOp::STREAM_BIT`]), so every engine sees the same
+    /// hit/miss sequence.
+    pub fn global_atomic_streaming(&mut self, addr: u64, len_bytes: u64) {
+        if !self.probing() {
+            self.counters.atomics += 1;
+            self.emit(AccessKind::Atomic, addr, len_bytes, 1);
+        }
+        if len_bytes > 0 {
+            let first = addr / SECTOR_BYTES as u64;
+            let n = (addr + len_bytes - 1) / SECTOR_BYTES as u64 - first + 1;
+            let hits = self.probes.probe_run_streaming(first, n);
+            self.probe_tally(hits, n);
+        }
+    }
+
     /// `n` warp-level shared-memory operations (conflict-free).
     pub fn shared_op(&mut self, n: u64) {
         if !self.probing() {
             self.counters.shared_ops += n;
         }
+    }
+
+    /// Warp-cooperative read of `elems` consecutive elements from a
+    /// block-resident shared-memory tile: one conflict-free shared-memory
+    /// transaction per 32-element wavefront. Resident accesses never probe
+    /// L2 or DRAM — that is the whole point of keeping a tile on-chip.
+    pub fn shared_read(&mut self, elems: u64) {
+        self.shared_op(elems.div_ceil(32).max(u64::from(elems > 0)));
+    }
+
+    /// Warp-cooperative store of `elems` consecutive elements into a
+    /// block-resident shared-memory tile; same transaction model (and same
+    /// no-probe guarantee) as [`WarpTally::shared_read`].
+    pub fn shared_write(&mut self, elems: u64) {
+        self.shared_op(elems.div_ceil(32).max(u64::from(elems > 0)));
     }
 
     /// `n` compute (FMA / integer / control) warp instructions.

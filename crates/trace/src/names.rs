@@ -76,6 +76,13 @@ pub const DRAM_BYTES: &str = "dram__bytes.sum";
 /// the Perfetto export; counter in the registry).
 pub const INTERCONNECT_BYTES: &str = "interconnect.bytes";
 
+/// Attention rows whose score tile overflowed shared memory and spilled
+/// through L2 in the fused multi-head attention kernel (counter).
+pub const FUSED_MHA_ROWS_SPILLED: &str = "fused_mha__rows_spilled.sum";
+/// DRAM bytes the fused attention kernel avoided versus the three-launch
+/// SDDMM → softmax → SpMM pipeline (counter).
+pub const FUSED_MHA_DRAM_SAVED_BYTES: &str = "fused_mha__dram_saved_bytes.sum";
+
 /// Cycles of the slowest warp (gauge).
 pub const WARP_CYCLES_MAX: &str = "smsp__warp_cycles.max";
 /// Mean warp cycles (gauge).

@@ -22,18 +22,27 @@
 //!       directly or through a [`Distinct`] data-variable promise or an
 //!       ownership annotation);
 //!     - *cross-site*: two different store sites on the same buffer are
-//!       separated by the disjoint-domain rule: both offsets decompose as
-//!       `S·d + rest` with the same stride, data variables `d` from
-//!       disjoint value domains, and each footprint confined to its
-//!       `[S·d, S·d + S)` slab.
+//!       separated either by the *aligned-site* rule (both sites share one
+//!       offset function, so the self-overlap stride argument applied to
+//!       the pointwise-max footprint separates different-warp instances;
+//!       same-warp pairs are program-ordered and sanctioned) or by the
+//!       disjoint-domain rule: both offsets decompose as `S·d + rest` with
+//!       the same stride, data variables `d` from disjoint value domains,
+//!       and each footprint confined to its `[S·d, S·d + S)` slab.
 //! - **Init-before-read** (mirrors the dynamic initcheck's launch-granular
 //!   visibility): a read of a non-input buffer requires a *prior* launch
 //!   whose unconditional top-level stores provably tile the whole buffer
 //!   (a strided cover over a launch axis). Atomics count as stores.
+//!   [`SymBufferRole::Shared`] buffers instead follow same-launch
+//!   program-order visibility: the read must be dominated by a textually
+//!   earlier unconditional store in the *same* loop nest writing the same
+//!   offset with at least the read's length, and shared tiles never
+//!   persist across launches.
 
 use crate::prover::{exprs_equal, linear_decompose, Prover};
 use hpsparse_sim::{
-    Distinct, SymAccess, SymAccessKind, SymExpr, SymLaunch, SymOp, SymbolicPlan, VarId, VarKind,
+    Distinct, SymAccess, SymAccessKind, SymBufferRole, SymExpr, SymLaunch, SymOp, SymbolicPlan,
+    VarId, VarKind,
 };
 
 /// An access site flattened out of the op tree.
@@ -214,10 +223,40 @@ fn self_overlap_free(
             return Ok(());
         }
     }
-    let Some((_, strides)) = linear_decompose(&a.offset, instance) else {
+    stride_separation(
+        plan,
+        launch,
+        buf,
+        &a.offset,
+        &a.len,
+        a.exclusive,
+        &hyps,
+        &nonempty,
+        instance,
+        pv,
+    )
+}
+
+/// The lexicographic stride-separation core shared by the self-overlap and
+/// aligned-site rules: any two instances of `offset` differing in a
+/// non-trivial launch axis write `len`-element ranges that are pairwise
+/// disjoint.
+#[allow(clippy::too_many_arguments)]
+fn stride_separation(
+    plan: &SymbolicPlan,
+    launch: &SymLaunch,
+    buf: &str,
+    offset: &SymExpr,
+    len: &SymExpr,
+    exclusive: Option<VarId>,
+    hyps: &[SymExpr],
+    nonempty: &[VarId],
+    instance: &[VarId],
+    pv: &mut Prover,
+) -> Result<(), String> {
+    let Some((_, strides)) = linear_decompose(offset, instance) else {
         return Err(format!(
-            "buffer '{buf}': store offset {} is not linear in instance variables",
-            a.offset
+            "buffer '{buf}': store offset {offset} is not linear in instance variables"
         ));
     };
     let d: Vec<VarId> = strides.iter().map(|(v, _)| *v).collect();
@@ -225,11 +264,11 @@ fn self_overlap_free(
     // through an injective/globally-distinct data variable, or by the
     // ownership annotation.
     for (ax, ext) in launch.axes.iter().zip(&launch.extents) {
-        if pv.prove_nonneg_given(&(SymExpr::Const(1) - ext.clone()), &hyps, &nonempty) {
+        if pv.prove_nonneg_given(&(SymExpr::Const(1) - ext.clone()), hyps, nonempty) {
             continue;
         }
         let covered = d.contains(ax)
-            || a.exclusive == Some(*ax)
+            || exclusive == Some(*ax)
             || d.iter().any(|v| {
                 matches!(
                     &plan.vars[v.index()].kind,
@@ -257,7 +296,7 @@ fn self_overlap_free(
     }
     // All strides must be nonnegative for the lexicographic argument.
     for (v, s) in &strides {
-        if !pv.prove_nonneg_given(s, &hyps, &nonempty) {
+        if !pv.prove_nonneg_given(s, hyps, nonempty) {
             return Err(format!(
                 "buffer '{buf}': cannot prove stride {s} of '{}' nonnegative",
                 plan.vars[v.index()].name
@@ -268,13 +307,12 @@ fn self_overlap_free(
     // remaining sub-layout span plus the footprint length, at any shared
     // assignment of the lower-level variables.
     for perm in permutations(&strides) {
-        if perm_proves(plan, &perm, &a.len, &hyps, &nonempty, pv) {
+        if perm_proves(plan, &perm, len, hyps, nonempty, pv) {
             return Ok(());
         }
     }
     Err(format!(
-        "buffer '{buf}': no stride ordering separates instances of store at {}",
-        a.offset
+        "buffer '{buf}': no stride ordering separates instances of store at {offset}"
     ))
 }
 
@@ -331,6 +369,32 @@ fn cross_site_disjoint(
     let ctx_a = site_context(launch, sa_site);
     let ctx_b = site_context(launch, sb_site);
     let buf = &plan.buffers[a.buffer].name;
+    // Aligned-site rule: when both sites share one offset function, any two
+    // instances from *different* warps are separated by the same
+    // lexicographic stride argument that proves a site self-overlap free,
+    // applied to the pointwise-max footprint; same-warp pairs are ordered by
+    // program order within the warp and sanctioned by the dynamic
+    // racecheck. Restricted to loop-free sites so a single execution
+    // context covers both obligations.
+    if sa_site.loops.is_empty()
+        && sb_site.loops.is_empty()
+        && exprs_equal(&a.offset, &b.offset)
+        && stride_separation(
+            plan,
+            launch,
+            buf,
+            &a.offset,
+            &a.len.clone().max(b.len.clone()),
+            None,
+            &ctx_a.0,
+            &ctx_a.1,
+            instance,
+            pv,
+        )
+        .is_ok()
+    {
+        return Ok(());
+    }
     let (da, sa, rest_a) = domain_split(plan, a, instance).ok_or_else(|| {
         format!(
             "buffer '{buf}': store at {} has no domain variable",
@@ -412,18 +476,33 @@ pub fn check_init(plan: &SymbolicPlan) -> Result<(), String> {
     let mut covered = vec![false; plan.buffers.len()];
     for launch in &plan.launches {
         let sites = launch_sites(launch);
-        for site in &sites {
+        for (idx, site) in sites.iter().enumerate() {
             let a = site.access;
             if a.kind != SymAccessKind::Read {
                 continue;
             }
             let buf = &plan.buffers[a.buffer];
-            if buf.role == hpsparse_sim::SymBufferRole::Input || covered[a.buffer] {
+            if buf.role == SymBufferRole::Input {
                 continue;
             }
             // Zero-length reads touch nothing.
             let (hyps, nonempty) = site_context(launch, site);
             if pv.prove_nonneg_given(&(SymExpr::Const(0) - a.len.clone()), &hyps, &nonempty) {
+                continue;
+            }
+            if buf.role == SymBufferRole::Shared {
+                // Same-launch program-order visibility: the tile dies with
+                // the block, so cross-launch coverage never applies.
+                if !shared_covered(launch, &sites, idx, &mut pv) {
+                    return Err(format!(
+                        "launch '{}': read of shared '{}' at {} has no dominating \
+                         same-launch store",
+                        launch.name, buf.name, a.offset
+                    ));
+                }
+                continue;
+            }
+            if covered[a.buffer] {
                 continue;
             }
             return Err(format!(
@@ -436,12 +515,42 @@ pub fn check_init(plan: &SymbolicPlan) -> Result<(), String> {
             if a.kind == SymAccessKind::Read || !site.unconditional || site.in_loop {
                 continue;
             }
+            if plan.buffers[a.buffer].role == SymBufferRole::Shared {
+                continue;
+            }
             if covers_buffer(plan, launch, a, &mut pv) {
                 covered[a.buffer] = true;
             }
         }
     }
     Ok(())
+}
+
+/// Whether a read of a [`SymBufferRole::Shared`] buffer (site `idx`) is
+/// dominated by a textually earlier store in the same loop nest of the same
+/// launch writing exactly the read's offset with at least its length. Equal
+/// loop-variable lists imply the same nest (each `For` variable is unique),
+/// so the earlier site executes before the read in every dynamic instance
+/// of the same warp, at the identical variable assignment.
+fn shared_covered(launch: &SymLaunch, sites: &[Site<'_>], idx: usize, pv: &mut Prover) -> bool {
+    let read = &sites[idx];
+    let a = read.access;
+    let read_loops: Vec<VarId> = read.loops.iter().map(|(v, _)| *v).collect();
+    for store in &sites[..idx] {
+        let s = store.access;
+        if s.buffer != a.buffer || s.kind == SymAccessKind::Read || !store.unconditional {
+            continue;
+        }
+        let store_loops: Vec<VarId> = store.loops.iter().map(|(v, _)| *v).collect();
+        if store_loops != read_loops || !exprs_equal(&s.offset, &a.offset) {
+            continue;
+        }
+        let (hyps, nonempty) = site_context(launch, read);
+        if pv.prove_nonneg_given(&(s.len.clone() - a.len.clone()), &hyps, &nonempty) {
+            return true;
+        }
+    }
+    false
 }
 
 /// Whether an unconditional top-level store tiles its whole buffer: offset

@@ -86,6 +86,10 @@ struct Replayer<'a> {
     initialized: HashSet<(usize, i64)>,
     /// Stores made by the launch in flight (merged at launch end).
     pending_init: HashSet<(usize, i64)>,
+    /// Shared-tile elements stored by the warp in flight: shared buffers
+    /// have program-order visibility within one warp's block and no
+    /// persistence past it, so the set resets per warp.
+    shared_written: HashSet<(usize, i64)>,
     /// Per-element store records for the current launch's race sweep.
     stores: HashMap<(usize, i64), ElemStore>,
     global_counters: HashMap<usize, i64>,
@@ -112,6 +116,7 @@ pub fn replay(
         extents: Vec::new(),
         initialized: HashSet::new(),
         pending_init: HashSet::new(),
+        shared_written: HashSet::new(),
         stores: HashMap::new(),
         global_counters: HashMap::new(),
         events: 0,
@@ -194,6 +199,7 @@ impl Replayer<'_> {
             }
             for w in 0..warps {
                 self.warp = w;
+                self.shared_written.clear();
                 let mut rem = w as i64;
                 for (axis, ext) in launch.axes.iter().zip(&launch.extents) {
                     let e = self.eval(ext).max(1);
@@ -312,13 +318,35 @@ impl Replayer<'_> {
             // and process it — otherwise init/race state would drift from
             // the dynamic sanitizer's.
         }
-        let is_input = self.plan.buffers[a.buffer].role == SymBufferRole::Input;
+        let role = self.plan.buffers[a.buffer].role;
+        let is_input = role == SymBufferRole::Input;
+        let is_shared = role == SymBufferRole::Shared;
         for elem in offset.max(0)..(offset + len).min(extent) {
             if self.events >= MAX_EVENTS {
                 self.truncated = true;
                 return;
             }
             self.events += 1;
+            // Shared tiles are on-chip: reads see the warp's own earlier
+            // stores (program order), stores never persist past the warp,
+            // and the cross-warp race sweep does not apply (the dynamic
+            // sanitizer has no shared-memory events to race on — the
+            // modeled per-warp slices are a static-side convention).
+            if is_shared {
+                match a.kind {
+                    SymAccessKind::Read => {
+                        if !self.shared_written.contains(&(a.buffer, elem)) {
+                            let detail =
+                                format!("read of shared element {elem} before any same-warp store");
+                            self.record(CheckKind::Init, a, offset, len, None, detail);
+                        }
+                    }
+                    SymAccessKind::Write | SymAccessKind::Atomic => {
+                        self.shared_written.insert((a.buffer, elem));
+                    }
+                }
+                continue;
+            }
             match a.kind {
                 SymAccessKind::Read => {
                     if !is_input && !self.initialized.contains(&(a.buffer, elem)) {
