@@ -23,6 +23,34 @@ use hpsparse_sim::{occupancy_of, DeviceSpec, KernelResources};
 use crate::candidates::Candidate;
 use crate::fingerprint::GraphFingerprint;
 
+/// The two roofline terms behind an analytic estimate, kept separate so
+/// the planner can say *which* side binds rather than only their max.
+#[derive(Debug, Clone, Copy)]
+struct CostTerms {
+    /// Instruction-throughput side (tail / imbalance multipliers folded in).
+    compute: f64,
+    /// DRAM-traffic side.
+    bandwidth: f64,
+}
+
+impl CostTerms {
+    /// The estimate itself: the binding roofline term.
+    fn cycles(self) -> f64 {
+        self.compute.max(self.bandwidth)
+    }
+
+    /// Which side binds, phrased with the attribution taxonomy's labels
+    /// (`hpsparse_sim::Bound::label`) so heuristic rationales and profiler
+    /// verdicts share one vocabulary.
+    fn bound_label(self) -> &'static str {
+        if self.bandwidth > self.compute {
+            "DRAM bandwidth"
+        } else {
+            "compute"
+        }
+    }
+}
+
 /// Fraction of `nnz·K` feature reads expected to miss L2: reuse of a
 /// feature row is its column's in-degree, and rows can only be reused if
 /// the working set fits the cache.
@@ -40,7 +68,7 @@ fn l2_miss_factor(device: &DeviceSpec, fp: &GraphFingerprint) -> f64 {
 }
 
 /// Estimated execution cycles of an HP-SpMM configuration.
-fn hp_spmm_cycles(device: &DeviceSpec, fp: &GraphFingerprint, cfg: &HpConfig) -> f64 {
+fn hp_spmm_cycles(device: &DeviceSpec, fp: &GraphFingerprint, cfg: &HpConfig) -> CostTerms {
     let nnz = fp.nnz as f64;
     let k = fp.k as f64;
     let occ = occupancy_of(device, &cfg.resources(fp.k));
@@ -65,11 +93,11 @@ fn hp_spmm_cycles(device: &DeviceSpec, fp: &GraphFingerprint, cfg: &HpConfig) ->
         + 4.0 * fp.rows as f64 * k;
     let bandwidth = bytes / device.dram_bytes_per_cycle;
 
-    compute.max(bandwidth)
+    CostTerms { compute, bandwidth }
 }
 
 /// Estimated execution cycles of an HP-SDDMM configuration.
-fn hp_sddmm_cycles(device: &DeviceSpec, fp: &GraphFingerprint, cfg: &HpConfig) -> f64 {
+fn hp_sddmm_cycles(device: &DeviceSpec, fp: &GraphFingerprint, cfg: &HpConfig) -> CostTerms {
     let nnz = fp.nnz as f64;
     let k = fp.k as f64;
     let occ = occupancy_of(device, &cfg.resources(fp.k));
@@ -92,7 +120,7 @@ fn hp_sddmm_cycles(device: &DeviceSpec, fp: &GraphFingerprint, cfg: &HpConfig) -
         + 4.0 * row_switches * k
         + 4.0 * nnz;
     let bandwidth = bytes / device.dram_bytes_per_cycle;
-    compute.max(bandwidth)
+    CostTerms { compute, bandwidth }
 }
 
 /// Per-baseline modelling knobs, relative to an ideal balanced kernel.
@@ -243,7 +271,7 @@ fn baseline_cycles(
     profile: &BaselineProfile,
     warps: u64,
     work_per_warp: f64,
-) -> f64 {
+) -> CostTerms {
     let nnz = fp.nnz as f64;
     let k = fp.k as f64;
     let res = KernelResources {
@@ -271,8 +299,13 @@ fn baseline_cycles(
     let bandwidth = bytes / device.dram_bytes_per_cycle;
     // The imbalance penalty applies after the roofline: straggler warps on
     // skewed degree distributions idle compute *and* memory pipelines.
-    let balance = 1.0 + profile.imbalance * fp.degree_cv;
-    compute.max(bandwidth) * balance * (1.0 + profile.preprocess)
+    // Scaling both terms by it keeps `cycles()` identical to the old
+    // `max(...) * balance` formulation while preserving which side binds.
+    let scale = (1.0 + profile.imbalance * fp.degree_cv) * (1.0 + profile.preprocess);
+    CostTerms {
+        compute: compute * scale,
+        bandwidth: bandwidth * scale,
+    }
 }
 
 /// Kernel-launch overhead in cycles, matching the accounting backends'
@@ -294,9 +327,9 @@ pub fn edge_softmax_cycles(device: &DeviceSpec, nnz: usize) -> u64 {
 /// and round-tripping the per-edge intermediate through DRAM.
 fn mha_unfused_cycles(device: &DeviceSpec, fp: &GraphFingerprint, heads: usize) -> f64 {
     let cfg = HpConfig::auto(device, fp.nnz, fp.rows, fp.k.max(1));
-    let per_head = hp_sddmm_cycles(device, fp, &cfg)
+    let per_head = hp_sddmm_cycles(device, fp, &cfg).cycles()
         + edge_softmax_cycles(device, fp.nnz) as f64
-        + hp_spmm_cycles(device, fp, &cfg)
+        + hp_spmm_cycles(device, fp, &cfg).cycles()
         + 3.0 * LAUNCH_OVERHEAD_CYCLES as f64;
     per_head * heads.max(1) as f64
 }
@@ -353,6 +386,30 @@ pub fn mha_cost(device: &DeviceSpec, fp: &GraphFingerprint, heads: usize, c: &Ca
         Some(cfg) => mha_fused_cycles(device, fp, heads, cfg),
         None => mha_unfused_cycles(device, fp, heads),
     };
+    sanitize(cycles)
+}
+
+fn spmm_terms(device: &DeviceSpec, fp: &GraphFingerprint, c: &Candidate) -> CostTerms {
+    match &c.config {
+        Some(cfg) => hp_spmm_cycles(device, fp, cfg),
+        None => {
+            let profile = spmm_profile(&c.kernel_id, fp);
+            baseline_cycles(device, fp, &profile, fp.rows.max(1) as u64, 1.0)
+        }
+    }
+}
+
+fn sddmm_terms(device: &DeviceSpec, fp: &GraphFingerprint, c: &Candidate) -> CostTerms {
+    match &c.config {
+        Some(cfg) => hp_sddmm_cycles(device, fp, cfg),
+        None => {
+            let profile = sddmm_profile(&c.kernel_id);
+            baseline_cycles(device, fp, &profile, fp.rows.max(1) as u64, 1.0)
+        }
+    }
+}
+
+fn sanitize(cycles: f64) -> f64 {
     if cycles.is_finite() {
         cycles.max(0.0)
     } else {
@@ -363,34 +420,29 @@ pub fn mha_cost(device: &DeviceSpec, fp: &GraphFingerprint, heads: usize, c: &Ca
 /// Estimated execution cycles for an SpMM candidate. Always finite and
 /// non-negative, including for degenerate (empty) inputs.
 pub fn spmm_cost(device: &DeviceSpec, fp: &GraphFingerprint, c: &Candidate) -> f64 {
-    let cycles = match &c.config {
-        Some(cfg) => hp_spmm_cycles(device, fp, cfg),
-        None => {
-            let profile = spmm_profile(&c.kernel_id, fp);
-            baseline_cycles(device, fp, &profile, fp.rows.max(1) as u64, 1.0)
-        }
-    };
-    if cycles.is_finite() {
-        cycles.max(0.0)
-    } else {
-        f64::MAX / 4.0
-    }
+    sanitize(spmm_terms(device, fp, c).cycles())
+}
+
+/// The analytic model's own verdict on which roofline side limits an SpMM
+/// candidate — `"compute"` or `"DRAM bandwidth"`, the same labels the
+/// profiler's attribution uses ([`hpsparse_sim::Bound::label`]). The
+/// heuristic planner embeds this in its rationale; the measured planner
+/// embeds the simulator-attributed verdict instead, so explanations and
+/// profiles never drift apart silently.
+///
+/// [`hpsparse_sim::Bound::label`]: hpsparse_sim::Bound::label
+pub fn spmm_bound_hint(device: &DeviceSpec, fp: &GraphFingerprint, c: &Candidate) -> &'static str {
+    spmm_terms(device, fp, c).bound_label()
 }
 
 /// Estimated execution cycles for an SDDMM candidate.
 pub fn sddmm_cost(device: &DeviceSpec, fp: &GraphFingerprint, c: &Candidate) -> f64 {
-    let cycles = match &c.config {
-        Some(cfg) => hp_sddmm_cycles(device, fp, cfg),
-        None => {
-            let profile = sddmm_profile(&c.kernel_id);
-            baseline_cycles(device, fp, &profile, fp.rows.max(1) as u64, 1.0)
-        }
-    };
-    if cycles.is_finite() {
-        cycles.max(0.0)
-    } else {
-        f64::MAX / 4.0
-    }
+    sanitize(sddmm_terms(device, fp, c).cycles())
+}
+
+/// SDDMM twin of [`spmm_bound_hint`].
+pub fn sddmm_bound_hint(device: &DeviceSpec, fp: &GraphFingerprint, c: &Candidate) -> &'static str {
+    sddmm_terms(device, fp, c).bound_label()
 }
 
 #[cfg(test)]

@@ -51,7 +51,10 @@ pub use candidates::{
     instantiate_fused_mha, instantiate_sddmm, instantiate_spmm, mha_candidates, sddmm_candidates,
     spmm_candidates, Candidate, MHA_FUSED_ID, MHA_UNFUSED_ID,
 };
-pub use cost::{edge_softmax_cycles, mha_cost, sddmm_cost, spmm_cost, LAUNCH_OVERHEAD_CYCLES};
+pub use cost::{
+    edge_softmax_cycles, mha_cost, sddmm_bound_hint, sddmm_cost, spmm_bound_hint, spmm_cost,
+    LAUNCH_OVERHEAD_CYCLES,
+};
 pub use fingerprint::GraphFingerprint;
 pub use planner::{
     measure_fused_mha, measure_unfused_mha, measurement_features, mha_measurement_heads, OpKind,

@@ -23,7 +23,10 @@ use crate::candidates::{
     instantiate_fused_mha, instantiate_sddmm, instantiate_spmm, mha_candidates, sddmm_candidates,
     spmm_candidates, Candidate,
 };
-use crate::cost::{edge_softmax_cycles, mha_cost, sddmm_cost, spmm_cost, LAUNCH_OVERHEAD_CYCLES};
+use crate::cost::{
+    edge_softmax_cycles, mha_cost, sddmm_bound_hint, sddmm_cost, spmm_bound_hint, spmm_cost,
+    LAUNCH_OVERHEAD_CYCLES,
+};
 use crate::fingerprint::GraphFingerprint;
 
 /// How the planner searches the candidate space.
@@ -184,7 +187,13 @@ impl Planner {
             spmm_cost(&self.device, &fp, c)
         });
         let plan = match self.strategy {
-            PlanStrategy::Heuristic => heuristic_plan(&fp, ranked),
+            PlanStrategy::Heuristic => {
+                let mut plan = heuristic_plan(&fp, ranked);
+                let hint = spmm_bound_hint(&self.device, &fp, &plan.candidate());
+                plan.rationale
+                    .push_str(&format!("; model-side bound: {hint}"));
+                plan
+            }
             PlanStrategy::Measured { top_n } => {
                 let a = measurement_features(s.cols(), k);
                 let reference = self.reference_engine;
@@ -193,7 +202,10 @@ impl Planner {
                     let mut sim = GpuSim::new(device.clone());
                     sim.set_reference_engine(reference);
                     let run = kernel.run_on(&mut sim, s, &a).ok()?;
-                    Some(run.report.cycles + run.preprocess.as_ref().map_or(0, |p| p.cycles))
+                    let verdict = hpsparse_sim::attribute(&run.report, device).verdict();
+                    let cycles =
+                        run.report.cycles + run.preprocess.as_ref().map_or(0, |p| p.cycles);
+                    Some((cycles, Some(verdict)))
                 })
             }
         };
@@ -217,7 +229,13 @@ impl Planner {
             sddmm_cost(&self.device, &fp, c)
         });
         let plan = match self.strategy {
-            PlanStrategy::Heuristic => heuristic_plan(&fp, ranked),
+            PlanStrategy::Heuristic => {
+                let mut plan = heuristic_plan(&fp, ranked);
+                let hint = sddmm_bound_hint(&self.device, &fp, &plan.candidate());
+                plan.rationale
+                    .push_str(&format!("; model-side bound: {hint}"));
+                plan
+            }
             PlanStrategy::Measured { top_n } => {
                 let a1 = measurement_features(s.rows(), k);
                 let a2t = measurement_features(s.cols(), k);
@@ -227,7 +245,10 @@ impl Planner {
                     let mut sim = GpuSim::new(device.clone());
                     sim.set_reference_engine(reference);
                     let run = kernel.run_on(&mut sim, s, &a1, &a2t).ok()?;
-                    Some(run.report.cycles + run.preprocess.as_ref().map_or(0, |p| p.cycles))
+                    let verdict = hpsparse_sim::attribute(&run.report, device).verdict();
+                    let cycles =
+                        run.report.cycles + run.preprocess.as_ref().map_or(0, |p| p.cycles);
+                    Some((cycles, Some(verdict)))
                 })
             }
         };
@@ -262,9 +283,15 @@ impl Planner {
                 let q = mha_measurement_heads(s.rows(), head_dim, heads, 0);
                 let kv = mha_measurement_heads(s.cols(), head_dim, heads, 1);
                 let reference = self.reference_engine;
-                self.measured_plan(&fp, ranked, 2, |device, c| match instantiate_fused_mha(c) {
-                    Some(kernel) => measure_fused_mha(device, reference, &kernel, s, &q, &kv),
-                    None => measure_unfused_mha(device, reference, s, &q, &kv),
+                self.measured_plan(&fp, ranked, 2, |device, c| {
+                    // Multi-launch pipelines have no single launch report to
+                    // attribute, so the fuse/no-fuse rationale carries no
+                    // per-launch verdict.
+                    let cycles = match instantiate_fused_mha(c) {
+                        Some(kernel) => measure_fused_mha(device, reference, &kernel, s, &q, &kv),
+                        None => measure_unfused_mha(device, reference, s, &q, &kv),
+                    }?;
+                    Some((cycles, None))
                 })
             }
         };
@@ -283,17 +310,21 @@ impl Planner {
     }
 
     /// Measures the top `top_n` ranked candidates with `measure` (one cold
-    /// simulator run each) and picks the cheapest; falls back to the
-    /// heuristic winner if nothing is measurable (degenerate inputs).
+    /// simulator run each, returning cycles plus an optional bottleneck
+    /// verdict from [`hpsparse_sim::attribute`] on the run's report) and
+    /// picks the cheapest; falls back to the heuristic winner if nothing is
+    /// measurable (degenerate inputs). The winner's verdict is appended to
+    /// the rationale, so a measured plan explains its choice with exactly
+    /// the words `repro -- profile` would use for the same launch.
     fn measured_plan(
         &mut self,
         fp: &GraphFingerprint,
         ranked: Vec<(f64, Candidate)>,
         top_n: usize,
-        mut measure: impl FnMut(&DeviceSpec, &Candidate) -> Option<u64>,
+        mut measure: impl FnMut(&DeviceSpec, &Candidate) -> Option<(u64, Option<String>)>,
     ) -> Plan {
         let n = top_n.clamp(1, ranked.len().max(1));
-        let mut best: Option<(u64, usize)> = None;
+        let mut best: Option<(u64, usize, Option<String>)> = None;
         let mut measured = 0usize;
         for (rank_idx, (_, cand)) in ranked.iter().enumerate() {
             // The paper-auto incumbent is always measured, wherever the
@@ -303,7 +334,7 @@ impl Planner {
             if rank_idx >= n && !incumbent {
                 continue;
             }
-            let Some(cycles) = measure(&self.device, cand) else {
+            let Some((cycles, verdict)) = measure(&self.device, cand) else {
                 continue;
             };
             self.sim_launches += 1;
@@ -311,29 +342,33 @@ impl Planner {
             measured += 1;
             // Strict `<` keeps ties on the better heuristic rank, which
             // makes the choice deterministic and explainable.
-            if best.is_none_or(|(b, _)| cycles < b) {
-                best = Some((cycles, rank_idx));
+            if best.as_ref().is_none_or(|(b, _, _)| cycles < *b) {
+                best = Some((cycles, rank_idx, verdict));
             }
         }
         match best {
-            Some((cycles, idx)) => {
+            Some((cycles, idx, verdict)) => {
                 let (est, cand) = &ranked[idx];
+                let mut rationale = format!(
+                    "measured {measured}/{} candidates on cold {} sim (rows={} nnz={} k={} cv={:.2}): \
+                     {} won at {cycles} cycles (analytic estimate {est:.0}, heuristic rank {})",
+                    ranked.len(),
+                    fp.device,
+                    fp.rows,
+                    fp.nnz,
+                    fp.k,
+                    fp.degree_cv,
+                    cand.kernel_id,
+                    idx + 1,
+                );
+                if let Some(v) = verdict {
+                    rationale.push_str(&format!("; bound by {v}"));
+                }
                 Plan {
                     kernel_id: cand.kernel_id.clone(),
                     config: cand.config,
                     predicted_cycles: cycles,
-                    rationale: format!(
-                        "measured {measured}/{} candidates on cold {} sim (rows={} nnz={} k={} cv={:.2}): \
-                         {} won at {cycles} cycles (analytic estimate {est:.0}, heuristic rank {})",
-                        ranked.len(),
-                        fp.device,
-                        fp.rows,
-                        fp.nnz,
-                        fp.k,
-                        fp.degree_cv,
-                        cand.kernel_id,
-                        idx + 1,
-                    ),
+                    rationale,
                 }
             }
             None => {
@@ -536,6 +571,46 @@ mod tests {
             let plan = p.plan_sddmm(&s, 64);
             assert!(!plan.kernel_id.is_empty());
         }
+    }
+
+    #[test]
+    fn measured_rationale_embeds_the_winners_attribution_verdict() {
+        let s = graph(6, 1200, 9_000);
+        let v100 = DeviceSpec::v100();
+        let mut p = Planner::new(v100.clone(), PlanStrategy::default());
+        let plan = p.plan_spmm(&s, 64);
+        // Recompute the verdict exactly as the planner did: cold run of
+        // the winning candidate on the measurement features, attributed by
+        // the same function `repro -- profile` uses.
+        let a = measurement_features(s.cols(), 64);
+        let kernel = instantiate_spmm(&plan.candidate()).unwrap();
+        let mut sim = GpuSim::new(v100.clone());
+        let run = kernel.run_on(&mut sim, &s, &a).unwrap();
+        let verdict = hpsparse_sim::attribute(&run.report, &v100).verdict();
+        assert!(
+            plan.rationale.ends_with(&format!("; bound by {verdict}")),
+            "{} vs {verdict}",
+            plan.rationale
+        );
+        assert!(verdict.contains("% headroom"), "{verdict}");
+    }
+
+    #[test]
+    fn heuristic_rationale_names_the_model_side_bound() {
+        let s = graph(7, 1500, 9_000);
+        let mut p = Planner::new(DeviceSpec::v100(), PlanStrategy::Heuristic);
+        let plan = p.plan_spmm(&s, 64);
+        assert!(
+            plan.rationale.contains("; model-side bound: "),
+            "{}",
+            plan.rationale
+        );
+        let sd = p.plan_sddmm(&s, 64);
+        assert!(
+            sd.rationale.contains("; model-side bound: "),
+            "{}",
+            sd.rationale
+        );
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! repro [--quick|--full] [--json DIR] [--trace FILE] [--metrics FILE]
-//!       [--selftime-baseline FILE] [--selftime-tolerance F] <experiment>...
+//!       [--engine NAME] [--selftime-baseline FILE] [--selftime-tolerance F]
+//!       <experiment>...
+//! repro perfdiff OLD.json NEW.json [--tolerance F] [--report FILE]
 //!
 //! experiments:
 //!   fig9     kernel benchmarks, full-graph dataset (V100)
@@ -32,6 +34,7 @@
 //!            writes BENCH_fused_mha.json
 //!   all      everything above (except serve and fused-mha)
 //!   selftime wall-clock self-benchmark of the harness; writes BENCH_repro.json
+//!   perfdiff compare two benchmark/metrics snapshots metric by metric
 //!   list     print the experiment catalog and exit
 //! ```
 //!
@@ -46,6 +49,20 @@
 //! CSV, anything else for JSON). Both artefacts are deterministic:
 //! identical invocations produce byte-identical files.
 //!
+//! `--engine NAME` (`reference` / `batched` / `parallel` / `auto`) sets
+//! the process-wide default cost engine every simulator in the run starts
+//! on. All engines produce bit-identical reports, traces and metrics —
+//! the flag exists so the byte-identity can be *demonstrated* (and is
+//! pinned by the `engine_bytes` integration test).
+//!
+//! `perfdiff OLD.json NEW.json` compares two snapshots (`BENCH_*.json`
+//! or `--metrics` exports) metric by metric: regressions beyond
+//! `--tolerance` (fractional, default 0.25) and vanished metrics fail
+//! with exit 1, unreadable inputs with exit 2; `--report FILE` writes the
+//! machine-readable diff. Every `BENCH_*.json` carries a `host` section
+//! (core count, rayon threads) for provenance; `perfdiff` excludes it
+//! from comparison.
+//!
 //! `selftime` folds its run into `BENCH_repro.json` under a `runs` object
 //! keyed by thread count, so records at `RAYON_NUM_THREADS=1` and `=4`
 //! coexist. `--selftime-baseline FILE` makes `selftime` compare its fresh
@@ -55,7 +72,10 @@
 //! budget of DESIGN.md is validated with a strict 0.01 at baseline-refresh
 //! time).
 
-use hpsparse_bench::experiments::{dispatch, selftime, Effort, ALL_EXPERIMENTS, CATALOG};
+use hpsparse_bench::experiments::{
+    bench_artifact, dispatch, selftime, supports_trace, Effort, ALL_EXPERIMENTS, CATALOG,
+};
+use hpsparse_bench::perfdiff;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -65,6 +85,8 @@ fn main() {
     let mut metrics_path: Option<String> = None;
     let mut selftime_baseline: Option<String> = None;
     let mut selftime_tolerance = 0.25_f64;
+    let mut diff_tolerance = perfdiff::DEFAULT_TOLERANCE;
+    let mut diff_report: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -83,6 +105,15 @@ fn main() {
             "--metrics" => {
                 metrics_path = Some(it.next().unwrap_or_else(|| usage("--metrics needs a file")))
             }
+            "--engine" => {
+                let name = it.next().unwrap_or_else(|| usage("--engine needs a name"));
+                let engine = hpsparse_sim::CostEngine::parse(&name).unwrap_or_else(|| {
+                    usage(&format!(
+                        "--engine {name}: expected reference, batched, parallel, or auto"
+                    ))
+                });
+                hpsparse_sim::set_default_engine(engine);
+            }
             "--selftime-baseline" => {
                 selftime_baseline = Some(
                     it.next()
@@ -95,6 +126,15 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--selftime-tolerance needs a number"))
             }
+            "--tolerance" => {
+                diff_tolerance = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--tolerance needs a number"))
+            }
+            "--report" => {
+                diff_report = Some(it.next().unwrap_or_else(|| usage("--report needs a file")))
+            }
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
             other => wanted.push(other.to_string()),
@@ -102,6 +142,9 @@ fn main() {
     }
     if wanted.is_empty() {
         usage("no experiment given");
+    }
+    if wanted.first().map(String::as_str) == Some("perfdiff") {
+        run_perfdiff(&wanted[1..], diff_tolerance, diff_report.as_deref());
     }
     if wanted.iter().any(|w| w == "list") {
         print!("{}", render_catalog());
@@ -139,7 +182,7 @@ fn main() {
         if out.id == "serve" {
             std::fs::write(
                 "BENCH_serve.json",
-                serde_json::to_string_pretty(&out.json).unwrap(),
+                serde_json::to_string_pretty(&with_host(&out.json)).unwrap(),
             )
             .expect("write BENCH_serve.json");
             eprintln!("[wrote BENCH_serve.json]");
@@ -147,7 +190,7 @@ fn main() {
         if out.id == "fused-mha" {
             std::fs::write(
                 "BENCH_fused_mha.json",
-                serde_json::to_string_pretty(&out.json).unwrap(),
+                serde_json::to_string_pretty(&with_host(&out.json)).unwrap(),
             )
             .expect("write BENCH_fused_mha.json");
             eprintln!("[wrote BENCH_fused_mha.json]");
@@ -182,6 +225,60 @@ fn main() {
     }
 }
 
+/// Host provenance stamped into every `BENCH_*.json`: enough to explain
+/// why two wall-clock snapshots differ without making them incomparable —
+/// `perfdiff` excludes the section from comparison.
+fn host_metadata() -> serde_json::Value {
+    serde_json::json!({
+        "cores": std::thread::available_parallelism().map_or(1, |n| n.get()) as u64,
+        "rayon_threads": rayon::current_num_threads() as u64,
+    })
+}
+
+/// A copy of `doc` with the `host` section added (replacing any present).
+fn with_host(doc: &serde_json::Value) -> serde_json::Value {
+    let mut map = serde_json::Map::new();
+    if let Some(obj) = doc.as_object() {
+        for (k, v) in obj.iter() {
+            map.insert(k.clone(), v.clone());
+        }
+    }
+    map.insert("host".to_string(), host_metadata());
+    serde_json::Value::Object(map)
+}
+
+/// The `perfdiff` subcommand: diff two snapshots and exit — 0 on pass,
+/// 1 on regressed/vanished metrics, 2 on unusable inputs.
+fn run_perfdiff(paths: &[String], tolerance: f64, report_path: Option<&str>) -> ! {
+    let [old_path, new_path] = paths else {
+        usage("perfdiff needs exactly two files: OLD.json NEW.json");
+    };
+    let load = |path: &str| -> serde_json::Value {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("perfdiff: {path}: {e}");
+            std::process::exit(2);
+        });
+        serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("perfdiff: {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let report = perfdiff::diff(&load(old_path), &load(new_path), tolerance);
+    print!("{}", report.render());
+    if let Some(path) = report_path {
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&report.to_json()).unwrap(),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("perfdiff: write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("[wrote {path}]");
+    }
+    std::process::exit(if report.passed() { 0 } else { 1 });
+}
+
 /// Folds one fresh `selftime` run into the committed multi-thread record:
 /// `BENCH_repro.json` keeps a `runs` object keyed by thread count, so runs
 /// at `RAYON_NUM_THREADS=1` and `=4` coexist instead of overwriting each
@@ -211,6 +308,7 @@ fn merge_selftime_record(fresh: &serde_json::Value, path: &str) -> serde_json::V
     let mut record = serde_json::Map::new();
     record.insert("mode".into(), fresh["mode"].clone());
     record.insert("effort".into(), fresh["effort"].clone());
+    record.insert("host".into(), host_metadata());
     record.insert("runs".into(), serde_json::Value::Object(runs));
     serde_json::Value::Object(record)
 }
@@ -258,7 +356,9 @@ fn check_selftime_baseline(fresh: &serde_json::Value, baseline_path: &str, toler
 }
 
 /// The `repro list` output: every dispatchable experiment with its
-/// one-line summary, plus the meta-modes.
+/// one-line summary, plus the meta-modes. Names that attach per-launch
+/// tracers are marked `[trace]`; names that write a benchmark artefact
+/// are marked `[writes …]`.
 fn render_catalog() -> String {
     let width = CATALOG
         .iter()
@@ -266,17 +366,32 @@ fn render_catalog() -> String {
         .max()
         .unwrap_or(0)
         .max("selftime".len());
+    let annotate = |name: &str| {
+        let mut tags = String::new();
+        if supports_trace(name) {
+            tags.push_str("  [trace]");
+        }
+        if let Some(file) = bench_artifact(name) {
+            tags.push_str(&format!("  [writes {file}]"));
+        }
+        tags
+    };
     let mut out = String::from("experiments:\n");
     for (name, summary) in CATALOG {
-        out.push_str(&format!("  {name:width$}  {summary}\n"));
+        out.push_str(&format!("  {name:width$}  {summary}{}\n", annotate(name)));
     }
     out.push_str(&format!(
         "  {:width$}  every experiment in ALL_EXPERIMENTS order\n",
         "all"
     ));
     out.push_str(&format!(
-        "  {:width$}  wall-clock self-benchmark; writes BENCH_repro.json\n",
-        "selftime"
+        "  {:width$}  wall-clock self-benchmark{}\n",
+        "selftime",
+        annotate("selftime")
+    ));
+    out.push_str(&format!(
+        "  {:width$}  compare two benchmark/metrics snapshots metric by metric\n",
+        "perfdiff"
     ));
     out
 }
@@ -305,7 +420,7 @@ fn unknown_experiment(name: &str) -> ! {
     let candidates = CATALOG
         .iter()
         .map(|(n, _)| *n)
-        .chain(["all", "selftime", "list"]);
+        .chain(["all", "selftime", "perfdiff", "list"]);
     if let Some((best, dist)) = candidates
         .map(|n| (n, levenshtein(name, n)))
         .min_by_key(|&(n, d)| (d, n))
@@ -326,7 +441,9 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: repro [--quick|--full] [--json DIR] [--trace FILE] [--metrics FILE]\n\
-         \x20            [--selftime-baseline FILE] [--selftime-tolerance F] <experiment>...\n\
+         \x20            [--engine NAME] [--selftime-baseline FILE] [--selftime-tolerance F]\n\
+         \x20            <experiment>...\n\
+         \x20      repro perfdiff OLD.json NEW.json [--tolerance F] [--report FILE]\n\
          experiments: fig9 fig9a30 fig10 table3 table4 tcgnn reorder fig11 \
          fig12 fig13 alpha futurework bell fused table5 autotune sanitize verify fastcheck \
          formats profile datasets serve fused-mha all selftime\n\

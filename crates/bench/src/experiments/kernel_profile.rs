@@ -32,8 +32,9 @@ fn record(
     json_rows: &mut Vec<serde_json::Value>,
     name: &str,
     report: &LaunchReport,
+    device: &DeviceSpec,
 ) {
-    text.push_str(&profile::render(name, report));
+    text.push_str(&profile::render(name, report, device));
     text.push_str(&profile::render_metrics(report));
     text.push('\n');
     json_rows.push(json!({
@@ -63,25 +64,43 @@ pub fn run(effort: Effort, k: usize) -> ExperimentOutput {
 
     let hp = HpSpmm::auto(&device, &s, k);
     let run = hp.run_on(&mut profiled_sim(&device), &s, &a).unwrap();
-    record(&mut text, &mut json_rows, hp.name(), &run.report);
+    record(&mut text, &mut json_rows, hp.name(), &run.report, &device);
 
     for kernel in [
         Box::new(CusparseCsrAlg2) as Box<dyn SpmmKernel>,
         Box::new(GeSpmm),
     ] {
         let run = kernel.run_on(&mut profiled_sim(&device), &s, &a).unwrap();
-        record(&mut text, &mut json_rows, kernel.name(), &run.report);
+        record(
+            &mut text,
+            &mut json_rows,
+            kernel.name(),
+            &run.report,
+            &device,
+        );
     }
 
     let hp_sd = HpSddmm::auto(&device, &s, k);
     let run = hp_sd
         .run_on(&mut profiled_sim(&device), &s, &a1, &a2t)
         .unwrap();
-    record(&mut text, &mut json_rows, hp_sd.name(), &run.report);
+    record(
+        &mut text,
+        &mut json_rows,
+        hp_sd.name(),
+        &run.report,
+        &device,
+    );
     let run = DglSddmm
         .run_on(&mut profiled_sim(&device), &s, &a1, &a2t)
         .unwrap();
-    record(&mut text, &mut json_rows, DglSddmm.name(), &run.report);
+    record(
+        &mut text,
+        &mut json_rows,
+        DglSddmm.name(),
+        &run.report,
+        &device,
+    );
 
     ExperimentOutput {
         id: "profile",

@@ -119,13 +119,34 @@ pub const CATALOG: &[(&str, &str)] = &[
     ("datasets", "Table II stand-in verification"),
     (
         "serve",
-        "multi-GPU sharded inference serving under synthetic load; writes BENCH_serve.json",
+        "multi-GPU sharded inference serving under synthetic load",
     ),
     (
         "fused-mha",
-        "fused one-launch multi-head attention vs three-launch pipeline; writes BENCH_fused_mha.json",
+        "fused one-launch multi-head attention vs three-launch pipeline",
     ),
 ];
+
+/// Whether an experiment attaches per-launch tracers, so `repro --trace`
+/// captures deep timelines from it — SM lanes and wave slices for
+/// `profile`, device batch/halo lanes plus per-request span trees for
+/// `serve` — rather than only the structural `experiment:` span every run
+/// gets. `repro list` annotates these names.
+pub fn supports_trace(name: &str) -> bool {
+    matches!(name, "profile" | "serve")
+}
+
+/// The benchmark artefact an experiment (or meta-mode) writes into the
+/// working directory, if any. `repro list` annotates these names, and the
+/// files are what `repro perfdiff` compares.
+pub fn bench_artifact(name: &str) -> Option<&'static str> {
+    match name {
+        "serve" => Some("BENCH_serve.json"),
+        "fused-mha" => Some("BENCH_fused_mha.json"),
+        "selftime" => Some("BENCH_repro.json"),
+        _ => None,
+    }
+}
 
 /// Every experiment `repro all` runs, in output order.
 pub const ALL_EXPERIMENTS: &[&str] = &[

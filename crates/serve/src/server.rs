@@ -165,6 +165,24 @@ struct PlannedBatch {
     members: Vec<Member>,
 }
 
+/// Critical-path stage facts for one request: the membership with the
+/// latest completion defines how the request's latency splits into
+/// queue → halo → stall → compute. The four stages tile
+/// `[arrival, completion]` exactly: `ready ≥ arrival` (a batch never
+/// closes before a member joined), `halo_done ≥ ready` (transfers leave
+/// at `ready`) and `start ≥ halo_done` by the schedule rule.
+struct Stages {
+    ready: u64,
+    halo_done: u64,
+    start: u64,
+    end: u64,
+    shard: usize,
+    seq: usize,
+    rows: usize,
+    /// Halo bytes the critical batch moved (batch total, not per-member).
+    halo_bytes: u64,
+}
+
 /// Per-device execution statistics.
 #[derive(Debug, Clone, Default)]
 pub struct DeviceStats {
@@ -361,8 +379,18 @@ fn plan_batches(cluster: &Cluster, requests: &[Request], cfg: &BatcherConfig) ->
     all
 }
 
-/// Runs `requests` through `cluster`. Emits batch/halo slices and the
-/// `interconnect.bytes` counter into `trace` when given.
+/// Runs `requests` through `cluster`. With `trace` attached it also emits
+/// the request-level observability artefacts:
+///
+/// * batch-compute and halo-transfer slices on the device lanes, plus the
+///   `interconnect.bytes` counter (as before);
+/// * one Perfetto lane per request in the `requests` group, carrying the
+///   request's span tree — a top-level `request N` slice over
+///   `[arrival, completion]` tiled by `queue` / `halo` / `stall` /
+///   `compute` stage slices from its critical-path batch;
+/// * per-stage latency histograms ([`names::SERVE_REQUEST_LATENCY`],
+///   [`names::SERVE_STAGE_QUEUE`], …) and per-batch halo-byte histograms
+///   in the session's metrics registry.
 pub fn serve(
     cluster: &mut Cluster,
     requests: &[Request],
@@ -382,6 +410,8 @@ pub fn serve(
         .map(|r| vec![0u32; r.targets.len() * k])
         .collect();
     let mut completions = vec![0u64; requests.len()];
+    let mut stages: Vec<Option<Stages>> = (0..requests.len()).map(|_| None).collect();
+    let mut memberships = vec![0u64; requests.len()];
     let mut makespan = 0u64;
     let mut halo_transfers = 0u64;
 
@@ -391,12 +421,14 @@ pub fn serve(
 
         // Halo transfers leave at `ready` and overlap earlier compute.
         let mut halo_done = batch.ready;
+        let mut batch_halo_bytes = 0u64;
         for t in &result.transfers {
             let (start, end) = links.schedule(t, batch.ready);
             halo_done = halo_done.max(end);
             halo_transfers += 1;
             per_device[device].halo_bytes += t.bytes;
             device_bytes[device] += t.bytes;
+            batch_halo_bytes += t.bytes;
             if let Some(session) = trace {
                 session.device_slice(
                     t.dst_device,
@@ -426,6 +458,9 @@ pub fn serve(
         makespan = makespan.max(end);
 
         if let Some(session) = trace {
+            session
+                .metrics()
+                .observe(names::SERVE_BATCH_HALO_BYTES, batch_halo_bytes as f64);
             session.device_slice(
                 device as u32,
                 DEVICE_COMPUTE_TID,
@@ -450,10 +485,67 @@ pub fn serve(
                 }
             }
             completions[m.req] = completions[m.req].max(end);
+            memberships[m.req] += 1;
+            if stages[m.req].as_ref().is_none_or(|s| end > s.end) {
+                stages[m.req] = Some(Stages {
+                    ready: batch.ready,
+                    halo_done,
+                    start,
+                    end,
+                    shard: batch.shard,
+                    seq: batch.seq,
+                    rows: m.positions.len(),
+                    halo_bytes: batch_halo_bytes,
+                });
+            }
         }
     }
 
     if let Some(session) = trace {
+        // Request span trees: one lane per request, the top-level slice
+        // tiled by its critical-path stage slices, plus the stage
+        // histograms. Requests are visited in stream order, so the export
+        // is deterministic.
+        let metrics = session.metrics();
+        for (i, req) in requests.iter().enumerate() {
+            let Some(st) = &stages[i] else { continue };
+            let arrival = req.arrival_cycle;
+            let total = st.end - arrival;
+            session.request_slice(
+                req.id,
+                &format!("request {}", req.id),
+                arrival as f64,
+                total as f64,
+                &[
+                    ("rows", json!(req.targets.len() as u64)),
+                    ("batches", json!(memberships[i])),
+                ],
+            );
+            for (stage, s0, s1) in [
+                ("queue", arrival, st.ready),
+                ("halo", st.ready, st.halo_done),
+                ("stall", st.halo_done, st.start),
+                ("compute", st.start, st.end),
+            ] {
+                if s1 > s0 {
+                    let args: Vec<(&str, Value)> = match stage {
+                        "halo" => vec![("bytes", json!(st.halo_bytes))],
+                        "compute" => vec![
+                            ("shard", json!(st.shard as u64)),
+                            ("batch", json!(st.seq as u64)),
+                            ("rows", json!(st.rows as u64)),
+                        ],
+                        _ => Vec::new(),
+                    };
+                    session.request_slice(req.id, stage, s0 as f64, (s1 - s0) as f64, &args);
+                }
+            }
+            metrics.observe(names::SERVE_REQUEST_LATENCY, total as f64);
+            metrics.observe(names::SERVE_STAGE_QUEUE, (st.ready - arrival) as f64);
+            metrics.observe(names::SERVE_STAGE_HALO, (st.halo_done - st.ready) as f64);
+            metrics.observe(names::SERVE_STAGE_STALL, (st.start - st.halo_done) as f64);
+            metrics.observe(names::SERVE_STAGE_COMPUTE, (st.end - st.start) as f64);
+        }
         session.advance_to(makespan as f64);
     }
 
@@ -508,13 +600,19 @@ pub fn serve(
 /// Runs the same requests on `cluster` and on a single-device cluster
 /// built from the *same shard plan*, and checks every request's output
 /// bits match. Returns `(sharded outcome, identical?)`.
+///
+/// `trace` is attached to the **sharded** run only (the reference runs
+/// untraced), so the check also witnesses that tracing is observation,
+/// not perturbation: output bits with a session attached must equal the
+/// reference's detached ones.
 pub fn verify_lossless(
     cluster: &mut Cluster,
     reference: &mut Cluster,
     requests: &[Request],
     cfg: &BatcherConfig,
+    trace: Option<&TraceSession>,
 ) -> (ServeOutcome, bool) {
-    let sharded = serve(cluster, requests, cfg, None);
+    let sharded = serve(cluster, requests, cfg, trace);
     let single = serve(reference, requests, cfg, None);
     let identical = sharded.outputs == single.outputs;
     (sharded, identical)
@@ -692,10 +790,22 @@ mod tests {
             Cluster::from_plan(plan.clone(), &f, 4, DeviceSpec::v100(), LinkSpec::nvlink());
         let mut one = Cluster::from_plan(plan, &f, 1, DeviceSpec::v100(), LinkSpec::nvlink());
         let reqs = workload(&g, 30);
-        let (outcome, identical) =
-            verify_lossless(&mut many, &mut one, &reqs, &BatcherConfig::default());
+        // Tracing attached to the sharded side: observation must not
+        // perturb the bits.
+        let session = TraceSession::new();
+        let (outcome, identical) = verify_lossless(
+            &mut many,
+            &mut one,
+            &reqs,
+            &BatcherConfig::default(),
+            Some(&session),
+        );
         assert!(identical, "sharded outputs diverged from single-device");
         assert!(outcome.report.halo_bytes > 0, "no halo traffic exercised");
+        assert!(
+            session.to_chrome_json().contains("\"requests\""),
+            "traced lossless run must carry the request lane group"
+        );
     }
 
     #[test]
@@ -724,6 +834,103 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| e["name"].as_str() == Some("interconnect.bytes")));
+    }
+
+    #[test]
+    fn every_request_gets_a_span_tree_that_tiles_its_latency() {
+        let g = graph();
+        let f = features(&g, 8);
+        let mut cluster = Cluster::new(&g, &f, 2, 2, DeviceSpec::v100(), LinkSpec::nvlink());
+        let reqs = workload(&g, 25);
+        let session = TraceSession::new();
+        let outcome = serve(
+            &mut cluster,
+            &reqs,
+            &BatcherConfig::default(),
+            Some(&session),
+        );
+        let doc: Value = serde_json::from_str(&session.to_chrome_json()).unwrap();
+        let events = doc["traceEvents"].as_array().unwrap();
+
+        for r in &reqs {
+            let tid = hpsparse_trace::request_tid(r.id);
+            let lane: Vec<_> = events
+                .iter()
+                .filter(|e| {
+                    e["pid"].as_u64() == Some(hpsparse_trace::REQUESTS_PID)
+                        && e["tid"].as_u64() == Some(tid)
+                        && e["ph"].as_str() == Some("X")
+                })
+                .collect();
+            let top = lane
+                .iter()
+                .find(|e| e["name"].as_str() == Some(&format!("request {}", r.id)))
+                .unwrap_or_else(|| panic!("request {} has no top-level slice", r.id));
+            assert_eq!(top["ts"].as_u64(), Some(r.arrival_cycle));
+            assert_eq!(
+                top["ts"].as_u64().unwrap() + top["dur"].as_u64().unwrap(),
+                outcome.completions[r.id as usize],
+                "request {} slice must span arrival → completion",
+                r.id
+            );
+            // Stage slices tile the top slice exactly (zero-length stages
+            // are elided, so gaps would break the chain).
+            let mut stages: Vec<(u64, u64, &str)> = lane
+                .iter()
+                .filter(|e| e["name"].as_str() != Some(&format!("request {}", r.id)))
+                .map(|e| {
+                    (
+                        e["ts"].as_u64().unwrap(),
+                        e["dur"].as_u64().unwrap(),
+                        e["name"].as_str().unwrap(),
+                    )
+                })
+                .collect();
+            stages.sort_unstable();
+            assert!(!stages.is_empty(), "request {} has no stage slices", r.id);
+            let mut cursor = r.arrival_cycle;
+            for (ts, dur, name) in &stages {
+                assert_eq!(*ts, cursor, "request {}: stage {name} leaves a gap", r.id);
+                assert!(
+                    ["queue", "halo", "stall", "compute"].contains(name),
+                    "unknown stage {name}"
+                );
+                cursor += dur;
+            }
+            assert_eq!(
+                cursor, outcome.completions[r.id as usize],
+                "request {}: stages must end at completion",
+                r.id
+            );
+            // The critical path always ends in compute.
+            assert_eq!(stages.last().unwrap().2, "compute");
+        }
+
+        // Histograms: one observation per request, and the stage sums
+        // reconstruct the latency sum (the tiling identity in aggregate).
+        let metrics = session.metrics();
+        let hist = |name: &str| match metrics.get(name) {
+            Some(hpsparse_trace::Metric::Histogram(h)) => h,
+            other => panic!("{name}: expected histogram, got {other:?}"),
+        };
+        let latency = hist(names::SERVE_REQUEST_LATENCY);
+        assert_eq!(latency.count(), reqs.len() as u64);
+        let stage_sum: f64 = [
+            names::SERVE_STAGE_QUEUE,
+            names::SERVE_STAGE_HALO,
+            names::SERVE_STAGE_STALL,
+            names::SERVE_STAGE_COMPUTE,
+        ]
+        .iter()
+        .map(|n| {
+            let h = hist(n);
+            assert_eq!(h.count(), reqs.len() as u64);
+            h.sum()
+        })
+        .sum();
+        assert_eq!(stage_sum, latency.sum());
+        let halo_bytes = hist(names::SERVE_BATCH_HALO_BYTES);
+        assert_eq!(halo_bytes.count(), outcome.report.num_batches as u64);
     }
 
     #[test]

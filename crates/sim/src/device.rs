@@ -1,5 +1,7 @@
 //! Device specifications for the GPUs used in the paper's evaluation.
 
+use std::sync::atomic::{AtomicU8, Ordering};
+
 /// Cycle costs charged by the model for each architectural event.
 ///
 /// The constants are throughput-style costs (pipeline occupancy per event),
@@ -51,17 +53,23 @@ impl Default for CostModel {
 ///
 /// Resolution per launch (see [`GpuSim::launch_named`]):
 ///
-/// | engine      | sink attached | tracer attached | otherwise            |
-/// |-------------|---------------|-----------------|----------------------|
-/// | `Reference` | reference     | reference       | reference            |
-/// | `Batched`   | batched¹      | batched         | batched              |
-/// | `Parallel`  | batched¹      | batched         | parallel             |
-/// | `Auto`      | batched¹      | batched         | parallel at >1 thread, else batched |
+/// | engine      | sink attached | otherwise                           |
+/// |-------------|---------------|-------------------------------------|
+/// | `Reference` | reference     | reference                           |
+/// | `Batched`   | batched¹      | batched                             |
+/// | `Parallel`  | batched¹      | parallel                            |
+/// | `Auto`      | batched¹      | parallel at >1 thread, else batched |
 ///
 /// ¹ with a sink the tally expands descriptors element-wise regardless, so
 /// the observer sees the exact per-event stream; the parallel engine always
-/// falls back when a sink or tracer is attached so event order and span
-/// placement stay byte-stable.
+/// falls back when a sink is attached because event order is a property of
+/// the sequential interleaving.
+///
+/// A *tracer* does not constrain the choice: the parallel engine's
+/// warp-order merge feeds the launch timeline the same per-warp, per-block
+/// and per-wave facts as the sequential loop, so trace and metrics exports
+/// are byte-identical across engines and thread counts (pinned by tests in
+/// `launch.rs` and `hpsparse-bench`).
 ///
 /// [`LaunchReport`]: crate::LaunchReport
 /// [`GpuSim::launch_named`]: crate::GpuSim::launch_named
@@ -77,10 +85,68 @@ pub enum CostEngine {
     /// descriptors, set-sharded L2 replay on worker threads, deterministic
     /// warp-order merge.
     Parallel,
-    /// Resolve per launch: `Parallel` when profitable and observably safe,
-    /// `Batched` otherwise. The default.
+    /// Resolve per launch: `Parallel` when profitable and no sink is
+    /// attached, `Batched` otherwise. The default.
     #[default]
     Auto,
+}
+
+impl CostEngine {
+    /// Stable lowercase name — the `repro --engine` vocabulary.
+    pub fn label(self) -> &'static str {
+        match self {
+            CostEngine::Reference => "reference",
+            CostEngine::Batched => "batched",
+            CostEngine::Parallel => "parallel",
+            CostEngine::Auto => "auto",
+        }
+    }
+
+    /// Parses a [`label`](CostEngine::label) back; `None` on unknown names.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "reference" => Some(CostEngine::Reference),
+            "batched" => Some(CostEngine::Batched),
+            "parallel" => Some(CostEngine::Parallel),
+            "auto" => Some(CostEngine::Auto),
+            _ => None,
+        }
+    }
+
+    fn to_u8(self) -> u8 {
+        match self {
+            CostEngine::Reference => 0,
+            CostEngine::Batched => 1,
+            CostEngine::Parallel => 2,
+            CostEngine::Auto => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> Self {
+        match v {
+            0 => CostEngine::Reference,
+            1 => CostEngine::Batched,
+            2 => CostEngine::Parallel,
+            _ => CostEngine::Auto,
+        }
+    }
+}
+
+static DEFAULT_ENGINE: AtomicU8 = AtomicU8::new(3 /* Auto */);
+
+/// Sets the process-wide engine new simulators start on ([`CostEngine::Auto`]
+/// unless overridden). This is how `repro --engine` forces every launch of a
+/// whole run — including the ones experiments make internally — onto one
+/// engine, which the byte-identical-exports tests exploit to diff whole-run
+/// trace files across engines. Explicit `set_engine` calls on a simulator
+/// still win; reported numbers never change either way.
+pub fn set_default_engine(engine: CostEngine) {
+    DEFAULT_ENGINE.store(engine.to_u8(), Ordering::Relaxed);
+}
+
+/// The current process-wide default engine.
+pub fn default_engine() -> CostEngine {
+    CostEngine::from_u8(DEFAULT_ENGINE.load(Ordering::Relaxed))
 }
 
 /// Static description of a GPU: everything Eq. 3–5 of the paper and the
@@ -203,6 +269,20 @@ mod tests {
         // 1.38M cycles at 1380 MHz = 1 ms.
         let ms = v100.cycles_to_ms(1_380_000);
         assert!((ms - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn engine_labels_round_trip() {
+        for engine in [
+            CostEngine::Reference,
+            CostEngine::Batched,
+            CostEngine::Parallel,
+            CostEngine::Auto,
+        ] {
+            assert_eq!(CostEngine::parse(engine.label()), Some(engine));
+            assert_eq!(CostEngine::from_u8(engine.to_u8()), engine);
+        }
+        assert_eq!(CostEngine::parse("turbo"), None);
     }
 
     #[test]

@@ -36,6 +36,13 @@ use crate::sink::{AccessSink, BufferDecl, BufferRole};
 use crate::tally::{ProbeLog, WarpCounters, WarpTally};
 use hpsparse_trace::{names, LaunchTimeline, MetricsRegistry, TraceSession};
 
+/// No kernel completes faster than the pipeline fill/drain floor
+/// (~1.5 µs): microscopic launches — tiny sampled subgraphs — are
+/// floor-bound on every kernel alike. Shared with the attribution module,
+/// whose verdicts must know when the floor (not the schedule or the DRAM
+/// roofline) produced [`LaunchReport::cycles`].
+pub const KERNEL_FLOOR_CYCLES: f64 = 2_000.0;
+
 /// Launch geometry: total warps and the per-block resources that determine
 /// occupancy via Eq. 3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -253,7 +260,9 @@ pub struct GpuSim {
 }
 
 impl GpuSim {
-    /// Builds a simulator for `device` with a cold L2.
+    /// Builds a simulator for `device` with a cold L2, starting on the
+    /// process-wide default cost engine ([`crate::device::default_engine`],
+    /// [`CostEngine::Auto`] unless `repro --engine` overrode it).
     pub fn new(device: DeviceSpec) -> Self {
         let l2 = SectorCache::new(device.l2_bytes, device.l2_assoc);
         Self {
@@ -262,7 +271,7 @@ impl GpuSim {
             memory: MemorySpace::new(),
             sink: None,
             decls: Vec::new(),
-            engine: CostEngine::Auto,
+            engine: crate::device::default_engine(),
             tracer: None,
             device_index: None,
         }
@@ -425,19 +434,23 @@ impl GpuSim {
     }
 
     /// Resolves the configured [`CostEngine`] for one launch. The parallel
-    /// engine is skipped whenever an observer is attached (a sink needs the
-    /// exact per-event stream, a tracer per-wave L2 deltas and span
-    /// placement — both are properties of the sequential interleaving), and
+    /// engine is skipped whenever a *sink* is attached (it needs the exact
+    /// per-event stream, a property of the sequential interleaving), and
     /// under `Auto` when the pool has a single thread (capture/replay would
-    /// only add logging overhead).
+    /// only add logging overhead). A tracer does **not** force a fallback:
+    /// the deterministic warp-order merge feeds the same per-warp cycles,
+    /// per-block maxima and per-wave L2 deltas to the timeline as the
+    /// sequential loop, so traced exports are byte-identical across
+    /// engines (pinned by a test below and by `hpsparse-bench`'s
+    /// subprocess test).
     fn resolve_engine(&self, num_warps: u64) -> CostEngine {
-        let observed = self.sink.is_some() || self.tracer.is_some();
+        let sunk = self.sink.is_some();
         match self.engine {
             CostEngine::Reference => CostEngine::Reference,
             CostEngine::Batched => CostEngine::Batched,
-            CostEngine::Parallel if !observed && num_warps > 0 => CostEngine::Parallel,
+            CostEngine::Parallel if !sunk && num_warps > 0 => CostEngine::Parallel,
             CostEngine::Parallel => CostEngine::Batched,
-            CostEngine::Auto if !observed && num_warps > 0 && rayon::current_num_threads() > 1 => {
+            CostEngine::Auto if !sunk && num_warps > 0 && rayon::current_num_threads() > 1 => {
                 CostEngine::Parallel
             }
             CostEngine::Auto => CostEngine::Batched,
@@ -471,16 +484,23 @@ impl GpuSim {
         // Timeline builder while a tracer is attached. It buffers locally
         // and touches the session lock only at begin/finish, so the warp
         // loop below pays one `Option` branch per warp/block — the same
-        // discipline as the sink. (A tracer forces a sequential engine, so
-        // the parallel branch never has a timeline.)
+        // discipline as the sink. The parallel engine feeds the same
+        // timeline from its warp-order merge.
         let mut timeline = self
             .tracer
             .as_ref()
             .map(|t| LaunchTimeline::begin_on(t, name, num_sms, self.device_index));
 
         if engine == CostEngine::Parallel {
-            (totals, max_warp_cycles, sum_warp_cycles, schedule_cycles) =
-                run_parallel_engine(&mut self.l2, &self.device, config, &occ, blocks, &mut body);
+            (totals, max_warp_cycles, sum_warp_cycles, schedule_cycles) = run_parallel_engine(
+                &mut self.l2,
+                &self.device,
+                config,
+                &occ,
+                blocks,
+                &mut body,
+                timeline.as_mut(),
+            );
         } else {
             // One tally and one set of per-SM accumulators serve the whole
             // launch; per-warp/per-wave state is reset in place. This keeps
@@ -566,10 +586,6 @@ impl GpuSim {
         // Only L2 misses consume HBM bandwidth; hits are served on chip.
         let dram_bytes = totals.dram_sectors * crate::memory::SECTOR_BYTES as u64;
         let dram_bound = dram_bytes as f64 / (self.device.dram_bytes_per_cycle * occ_factor);
-        // No kernel completes faster than the pipeline fill/drain floor
-        // (~1.5 µs): microscopic launches — tiny sampled subgraphs — are
-        // floor-bound on every kernel alike.
-        const KERNEL_FLOOR_CYCLES: f64 = 2_000.0;
         let floor = if config.num_warps > 0 {
             KERNEL_FLOOR_CYCLES
         } else {
@@ -601,6 +617,8 @@ impl GpuSim {
             tl.finish(report.cycles as f64);
             if let Some(t) = self.tracer.as_ref() {
                 report.record_metrics(&t.metrics(), name);
+                crate::attribution::attribute(&report, &self.device)
+                    .record_metrics(&t.metrics(), name);
             }
         }
         report
@@ -674,8 +692,11 @@ impl ScheduleState {
     }
 
     /// Feeds the next warp's cycles (global warp order), closing blocks
-    /// and waves exactly where the sequential loop would.
-    fn feed(&mut self, wc: f64) {
+    /// and waves exactly where the sequential loop would. The returned
+    /// events carry the block/wave boundary facts a [`LaunchTimeline`]
+    /// needs, in the order the sequential loop would have emitted them.
+    fn feed(&mut self, wc: f64) -> FeedEvents {
+        let mut events = FeedEvents::default();
         if self.warps_left == 0 {
             self.block_warps = self.wpb.min(self.num_warps - self.warp_id);
             self.warps_left = self.block_warps;
@@ -688,6 +709,7 @@ impl ScheduleState {
             let sm = (self.slot as usize) % self.num_sms;
             self.sm_sum[sm] += self.block_max * self.block_warps as f64;
             self.sm_max_block[sm] = self.sm_max_block[sm].max(self.block_max);
+            events.block = Some((sm, self.block_max, self.block_warps));
             self.slot += 1;
             self.block_id += 1;
             if self.slot == self.blocks_this_wave {
@@ -695,12 +717,14 @@ impl ScheduleState {
                     .map(|sm| self.sm_max_block[sm].max(self.sm_sum[sm] / self.effective_width))
                     .fold(0f64, f64::max);
                 self.schedule_cycles += wave_time;
+                events.wave = Some(wave_time);
                 self.sm_sum.fill(0.0);
                 self.sm_max_block.fill(0.0);
                 self.slot = 0;
                 self.blocks_this_wave = self.full_wave_size.min(self.blocks - self.block_id);
             }
         }
+        events
     }
 
     /// Total schedule cycles after every warp was fed.
@@ -709,6 +733,17 @@ impl ScheduleState {
         debug_assert_eq!(self.block_id, self.blocks, "schedule missed blocks");
         self.schedule_cycles
     }
+}
+
+/// Boundary events one [`ScheduleState::feed`] call crossed: at most one
+/// block close and one wave close per fed warp (a warp is the last of its
+/// block before it can be the last of its wave).
+#[derive(Debug, Default, Clone, Copy)]
+struct FeedEvents {
+    /// A block closed: `(sm_slot, slowest_warp_cycles, warps_in_block)`.
+    block: Option<(usize, f64, u64)>,
+    /// A wave closed: its wave time.
+    wave: Option<f64>,
 }
 
 /// Replays one captured chunk: each shard's probe stream runs on its own
@@ -749,6 +784,14 @@ fn replay_chunk(
 /// replay pipelined against the next chunk's capture, and a deterministic
 /// warp-order merge. Returns `(totals, max_warp_cycles, sum_warp_cycles,
 /// schedule_cycles)` — bit-identical to the sequential engines' values.
+///
+/// When a `timeline` is attached, the warp-order merge drives it with the
+/// exact per-warp cycles, block boundaries (from [`ScheduleState::feed`]'s
+/// events) and per-wave L2 deltas the sequential loop would have recorded,
+/// in the same order — so traced exports are engine-independent. Chunk
+/// boundaries never align with timeline events: waves close wherever the
+/// schedule says, regardless of how warps were chunked for capture.
+#[allow(clippy::too_many_arguments)]
 fn run_parallel_engine<F>(
     l2: &mut SectorCache,
     device: &DeviceSpec,
@@ -756,6 +799,7 @@ fn run_parallel_engine<F>(
     occ: &Occupancy,
     blocks: u64,
     body: &mut F,
+    mut timeline: Option<&mut LaunchTimeline>,
 ) -> (WarpCounters, f64, f64, f64)
 where
     F: FnMut(u64, &mut WarpTally) + Send,
@@ -782,6 +826,9 @@ where
     let mut totals = WarpCounters::default();
     let mut max_warp_cycles = 0f64;
     let mut sum_warp_cycles = 0f64;
+    // Wave-open totals snapshots for the timeline's per-wave L2 deltas.
+    let mut wave_hits0 = 0u64;
+    let mut wave_dram0 = 0u64;
     let mut hit_bufs: Vec<Vec<u64>> = vec![Vec::new(); map.num_shards()];
     let mut counters_cur: Vec<WarpCounters> = Vec::new();
     let mut counters_next: Vec<WarpCounters> = Vec::new();
@@ -828,7 +875,12 @@ where
         // Merge in global warp order: per-warp hits summed across shards
         // (u64 adds — order-free), the hit/miss split patched in, then the
         // float folds (totals, sums, maxima, schedule) in exactly the
-        // sequential engine's order.
+        // sequential engine's order. Timeline events replicate the
+        // sequential loop's sequence: warp, then (on block close) block,
+        // then (on wave close) the wave's L2 deltas against the wave-open
+        // snapshot — taken after this warp's totals fold, exactly like the
+        // sequential wave loop, which adds every warp of the wave to
+        // `totals` before calling `end_wave`.
         for (i, c) in counters_cur.iter_mut().enumerate() {
             let mut h = 0u64;
             for buf in &hit_bufs {
@@ -840,7 +892,25 @@ where
             totals.add(c);
             sum_warp_cycles += wc;
             max_warp_cycles = max_warp_cycles.max(wc);
-            sched.feed(wc);
+            let events = sched.feed(wc);
+            if let Some(tl) = timeline.as_deref_mut() {
+                tl.record_warp(wc);
+                if let Some((sm, block_max, block_warps)) = events.block {
+                    tl.record_block(sm, block_max, block_warps);
+                }
+                if let Some(wave_time) = events.wave {
+                    let hits = totals.l2_hit_sectors - wave_hits0;
+                    let dram = totals.dram_sectors - wave_dram0;
+                    tl.end_wave(
+                        wave_time,
+                        hits,
+                        dram,
+                        dram * crate::memory::SECTOR_BYTES as u64,
+                    );
+                    wave_hits0 = totals.l2_hit_sectors;
+                    wave_dram0 = totals.dram_sectors;
+                }
+            }
         }
         match more {
             Some(end) => {
@@ -1235,5 +1305,83 @@ mod tests {
             |w, t| t.global_read(w * 4096, 512, 4),
         );
         assert_eq!(report, expect);
+    }
+
+    /// The tracer-compatibility guarantee of the parallel engine: with a
+    /// tracer attached, every engine runs as selected (no fallback) and
+    /// the exported timeline + metrics are byte-identical — including a
+    /// launch large enough to span multiple capture chunks, so wave
+    /// boundaries cross chunk boundaries.
+    #[test]
+    fn traced_exports_are_byte_identical_across_engines() {
+        use hpsparse_trace::TraceSession;
+        let run = |engine: CostEngine| -> (String, String, LaunchReport) {
+            let mut sim = GpuSim::new(DeviceSpec::v100());
+            sim.set_engine(engine);
+            let session = TraceSession::new();
+            sim.attach_tracer(session.clone());
+            let cfg = LaunchConfig {
+                num_warps: CAPTURE_CHUNK_WARPS + 4321,
+                resources: small_res(),
+            };
+            let big = sim.launch_named("big", cfg, |w, t| {
+                t.compute(10 + w % 11);
+                let base = if w % 5 == 0 { 0 } else { w * 8192 };
+                t.global_read(base, 1024, 4);
+            });
+            // A second, small launch shares the session: the clock must
+            // advance identically across engines.
+            sim.launch_named(
+                "small",
+                LaunchConfig {
+                    num_warps: 64,
+                    resources: small_res(),
+                },
+                |w, t| t.global_read(w * 4096, 256, 4),
+            );
+            let metrics = serde_json::to_string(&session.metrics().to_json()).unwrap();
+            (session.to_chrome_json(), metrics, big)
+        };
+        let (trace_ref, metrics_ref, report_ref) = run(CostEngine::Reference);
+        let (trace_bat, metrics_bat, report_bat) = run(CostEngine::Batched);
+        let (trace_par, metrics_par, report_par) = run(CostEngine::Parallel);
+        assert_eq!(report_ref, report_bat);
+        assert_eq!(report_bat, report_par);
+        assert_eq!(metrics_ref, metrics_bat);
+        assert_eq!(metrics_bat, metrics_par, "metrics differ under parallel");
+        assert_eq!(trace_ref, trace_bat);
+        assert_eq!(trace_bat, trace_par, "trace differs under parallel");
+    }
+
+    /// Every traced launch records an attribution verdict with headroom in
+    /// `[0, 1)` next to its NCU-style metrics.
+    #[test]
+    fn traced_launches_carry_attribution_metrics() {
+        use hpsparse_trace::{Metric, TraceSession};
+        let mut sim = GpuSim::new(DeviceSpec::v100());
+        let session = TraceSession::new();
+        sim.attach_tracer(session.clone());
+        sim.launch_named(
+            "attr",
+            LaunchConfig {
+                num_warps: 512,
+                resources: small_res(),
+            },
+            |w, t| {
+                t.compute(1_000);
+                t.global_read(w * 8192, 2048, 4);
+            },
+        );
+        let m = session.metrics();
+        let bound = m.get("launch.attr.attribution__bound.id");
+        assert!(
+            matches!(bound, Some(Metric::Gauge(v)) if (0.0..=4.0).contains(&v)),
+            "{bound:?}"
+        );
+        let head = m.get("launch.attr.attribution__headroom.pct");
+        assert!(
+            matches!(head, Some(Metric::Gauge(v)) if (0.0..100.0).contains(&v)),
+            "{head:?}"
+        );
     }
 }

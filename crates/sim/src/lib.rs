@@ -27,6 +27,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod attribution;
 pub mod cache;
 pub mod device;
 pub mod interconnect;
@@ -38,8 +39,9 @@ pub mod sink;
 pub mod symbolic;
 pub mod tally;
 
+pub use attribution::{attribute, Attribution, Bound};
 pub use cache::{CacheShard, SectorCache, ShardMap};
-pub use device::{CostEngine, CostModel, DeviceSpec};
+pub use device::{default_engine, set_default_engine, CostEngine, CostModel, DeviceSpec};
 pub use interconnect::{LinkKind, LinkSpec, LinkTimeline, TransferDescriptor};
 pub use launch::{GpuSim, LaunchConfig, LaunchReport};
 pub use memory::{Buffer, MemorySpace, SECTOR_BYTES};

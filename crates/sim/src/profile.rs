@@ -1,25 +1,31 @@
 //! Human-readable kernel profiles — the simulator's answer to an Nsight
 //! Compute summary page.
 
+use crate::attribution::attribute;
+use crate::device::DeviceSpec;
 use crate::launch::LaunchReport;
 
-/// Renders a launch report as a multi-line profile block.
-pub fn render(kernel: &str, report: &LaunchReport) -> String {
+/// Renders a launch report as a multi-line profile block. The `device` is
+/// needed for the attribution verdict (the warp-cycle decomposition is
+/// weighted by the device cost model).
+pub fn render(kernel: &str, report: &LaunchReport, device: &DeviceSpec) -> String {
     let t = &report.totals;
     let traffic = report.traffic();
+    let attr = attribute(report, device);
     let mut out = String::new();
     out.push_str(&format!("kernel       : {kernel}\n"));
     out.push_str(&format!(
         "duration     : {:.4} ms ({} cycles)\n",
         report.time_ms, report.cycles
     ));
+    out.push_str(&format!("bound by     : {}\n", attr.verdict()));
     out.push_str(&format!(
-        "bound by     : {}\n",
-        if report.dram_bound_cycles >= report.schedule_cycles {
-            "DRAM bandwidth"
-        } else {
-            "SM schedule"
-        }
+        "attribution  : warp cycles {:.0}% compute / {:.0}% L2 / {:.0}% DRAM; imbalance {:.2}x, tail stretch {:.2}x\n",
+        attr.compute_share * 100.0,
+        attr.l2_share * 100.0,
+        attr.dram_share * 100.0,
+        attr.imbalance,
+        attr.tail_stretch,
     ));
     out.push_str(&format!(
         "grid         : {} blocks / {} warps in {} wave(s) (full wave = {})\n",
@@ -50,6 +56,10 @@ pub fn render(kernel: &str, report: &LaunchReport) -> String {
     out.push_str(&format!(
         "bandwidth    : {:.0} bytes/cycle achieved\n",
         report.achieved_bytes_per_cycle()
+    ));
+    out.push_str(&format!(
+        "fidelity     : {} descriptor fallback(s)\n",
+        t.descriptor_fallbacks
     ));
     out
 }
@@ -96,21 +106,25 @@ mod tests {
                 t.global_read(0, 256, 2);
             },
         );
-        let text = render("test-kernel", &report);
+        let text = render("test-kernel", &report, sim.device());
         for section in [
             "kernel",
             "duration",
             "bound by",
+            "attribution",
             "grid",
             "occupancy",
             "balance",
             "instructions",
             "memory",
             "bandwidth",
+            "fidelity",
         ] {
             assert!(text.contains(section), "missing {section}:\n{text}");
         }
         assert!(text.contains("test-kernel"));
+        // The verdict line carries a quantified headroom figure.
+        assert!(text.contains("% headroom"), "{text}");
 
         // The NCU-style block lists every metric exactly once.
         let metrics = render_metrics(&report);

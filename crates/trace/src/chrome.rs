@@ -26,10 +26,23 @@ pub const DEVICE_COMPUTE_TID: u64 = 1;
 pub const DEVICE_LINK_TID: u64 = 2;
 /// Simulated SM `n` renders on lane `SM_TID_BASE + n`.
 pub const SM_TID_BASE: u64 = 16;
+/// Lane group for request-level serving spans: one Perfetto process titled
+/// "requests", one lane per request. Pid 0 sorts the group above the
+/// harness and device groups.
+pub const REQUESTS_PID: u64 = 0;
+/// Request `r` renders on lane `REQUEST_TID_BASE + r` of [`REQUESTS_PID`].
+/// The base is far above any SM lane so request tids never collide with
+/// tids used by other groups.
+pub const REQUEST_TID_BASE: u64 = 1 << 20;
 
 /// The pid of simulated device `d`'s lane group.
 pub fn device_pid(device: u32) -> u64 {
     DEVICE_PID_BASE + device as u64
+}
+
+/// The tid of request `r`'s lane within [`REQUESTS_PID`].
+pub fn request_tid(request: u64) -> u64 {
+    REQUEST_TID_BASE + request
 }
 
 /// Trace-event phase.

@@ -40,8 +40,8 @@ pub mod names;
 pub mod session;
 
 pub use chrome::{
-    device_pid, ChromeEvent, Phase, DEVICE_COMPUTE_TID, DEVICE_LINK_TID, DEVICE_PID_BASE,
-    HARNESS_TID, PID, SM_TID_BASE,
+    device_pid, request_tid, ChromeEvent, Phase, DEVICE_COMPUTE_TID, DEVICE_LINK_TID,
+    DEVICE_PID_BASE, HARNESS_TID, PID, REQUESTS_PID, REQUEST_TID_BASE, SM_TID_BASE,
 };
 pub use metrics::{Histogram, Metric, MetricsRegistry};
 pub use session::{LaunchTimeline, SpanGuard, TraceSession};

@@ -83,6 +83,39 @@ pub const FUSED_MHA_ROWS_SPILLED: &str = "fused_mha__rows_spilled.sum";
 /// SDDMM → softmax → SpMM pipeline (counter).
 pub const FUSED_MHA_DRAM_SAVED_BYTES: &str = "fused_mha__dram_saved_bytes.sum";
 
+/// Bottleneck-attribution verdict id (gauge): 0 = DRAM bandwidth,
+/// 1 = L2 latency, 2 = compute, 3 = imbalance, 4 = tail/floor. See
+/// `hpsparse-sim`'s attribution module for the decomposition.
+pub const ATTRIBUTION_BOUND_ID: &str = "attribution__bound.id";
+/// Quantified headroom of the attribution verdict, percent (gauge): how
+/// much of the launch time the binding bottleneck accounts for beyond the
+/// next-best limiter.
+pub const ATTRIBUTION_HEADROOM_PCT: &str = "attribution__headroom.pct";
+/// Compute share of the aggregate warp-cycle decomposition, percent
+/// (gauge).
+pub const ATTRIBUTION_COMPUTE_SHARE_PCT: &str = "attribution__compute_share.pct";
+/// L2-latency share of the aggregate warp-cycle decomposition, percent
+/// (gauge).
+pub const ATTRIBUTION_L2_SHARE_PCT: &str = "attribution__l2_share.pct";
+/// DRAM-latency share of the aggregate warp-cycle decomposition, percent
+/// (gauge).
+pub const ATTRIBUTION_DRAM_SHARE_PCT: &str = "attribution__dram_share.pct";
+
+/// Per-request end-to-end serve latency in interconnect-clock cycles
+/// (histogram).
+pub const SERVE_REQUEST_LATENCY: &str = "serve.request.latency_cycles";
+/// Per-request batcher-queue wait in cycles (histogram).
+pub const SERVE_STAGE_QUEUE: &str = "serve.request.queue_cycles";
+/// Per-request halo-transfer duration in cycles (histogram).
+pub const SERVE_STAGE_HALO: &str = "serve.request.halo_cycles";
+/// Per-request device/halo stall (ready but waiting) in cycles
+/// (histogram).
+pub const SERVE_STAGE_STALL: &str = "serve.request.stall_cycles";
+/// Per-request shard-compute duration in cycles (histogram).
+pub const SERVE_STAGE_COMPUTE: &str = "serve.request.compute_cycles";
+/// Per-batch halo bytes moved over the interconnect (histogram).
+pub const SERVE_BATCH_HALO_BYTES: &str = "serve.batch.halo_bytes";
+
 /// Cycles of the slowest warp (gauge).
 pub const WARP_CYCLES_MAX: &str = "smsp__warp_cycles.max";
 /// Mean warp cycles (gauge).

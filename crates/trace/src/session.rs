@@ -17,8 +17,8 @@
 //! own u64 cycle timestamps.
 
 use crate::chrome::{
-    self, device_pid, ChromeEvent, Phase, DEVICE_COMPUTE_TID, DEVICE_LINK_TID, HARNESS_TID, PID,
-    SM_TID_BASE,
+    self, device_pid, request_tid, ChromeEvent, Phase, DEVICE_COMPUTE_TID, DEVICE_LINK_TID,
+    HARNESS_TID, PID, REQUESTS_PID, SM_TID_BASE,
 };
 use crate::metrics::{Histogram, MetricsRegistry};
 use crate::names;
@@ -36,6 +36,9 @@ struct Inner {
     sm_lanes: BTreeMap<u64, u32>,
     /// Device lane groups whose metadata has been emitted.
     device_groups: BTreeSet<u32>,
+    /// Request lanes whose metadata has been emitted (the `requests` group
+    /// title is emitted with the first lane).
+    request_lanes: BTreeSet<u64>,
 }
 
 impl Inner {
@@ -53,6 +56,20 @@ impl Inner {
                 pid,
                 DEVICE_LINK_TID,
                 "interconnect",
+            ));
+        }
+    }
+
+    fn ensure_request_lane(&mut self, request: u64) {
+        if self.request_lanes.is_empty() {
+            self.events
+                .push(ChromeEvent::process_name(REQUESTS_PID, "requests"));
+        }
+        if self.request_lanes.insert(request) {
+            self.events.push(ChromeEvent::thread_name_in(
+                REQUESTS_PID,
+                request_tid(request),
+                &format!("request {request}"),
             ));
         }
     }
@@ -106,6 +123,7 @@ impl TraceSession {
                 events,
                 sm_lanes: BTreeMap::new(),
                 device_groups: BTreeSet::new(),
+                request_lanes: BTreeSet::new(),
             })),
             metrics: MetricsRegistry::new(),
         }
@@ -200,6 +218,36 @@ impl TraceSession {
             dur: Some(dur),
             pid: device_pid(device),
             tid,
+            args: args
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        });
+    }
+
+    /// Emits a complete slice on request `request`'s lane in the
+    /// [`REQUESTS_PID`] group (titled `requests`, one lane per request).
+    /// Like [`Self::device_slice`] the timestamp is absolute and the
+    /// session clock is untouched: the serving scheduler that knows the
+    /// request's span tree (queue → halo → dispatch → compute) draws it
+    /// here at its own cycle timestamps.
+    pub fn request_slice(
+        &self,
+        request: u64,
+        name: &str,
+        start: f64,
+        dur: f64,
+        args: &[(&str, Value)],
+    ) {
+        let mut inner = self.lock();
+        inner.ensure_request_lane(request);
+        inner.events.push(ChromeEvent {
+            name: name.to_string(),
+            ph: Phase::Complete,
+            ts: start,
+            dur: Some(dur),
+            pid: REQUESTS_PID,
+            tid: request_tid(request),
             args: args
                 .iter()
                 .map(|(k, v)| (k.to_string(), v.clone()))
@@ -657,6 +705,55 @@ mod tests {
             .filter(|e| e["args"]["name"].as_str() == Some("GPU 3"))
             .count();
         assert_eq!(titles, 1);
+    }
+
+    #[test]
+    fn request_slices_get_their_own_lane_group() {
+        let s = TraceSession::new();
+        s.request_slice(
+            7,
+            "request 7",
+            10.0,
+            500.0,
+            &[("rows", serde_json::json!(3u64))],
+        );
+        s.request_slice(7, "queue", 10.0, 40.0, &[]);
+        s.request_slice(2, "request 2", 0.0, 80.0, &[]);
+        let doc = serde_json::from_str(&s.to_chrome_json()).unwrap();
+        let events = doc["traceEvents"].as_array().unwrap();
+        // One "requests" process title, one lane title per request.
+        let group_titles = events
+            .iter()
+            .filter(|e| {
+                e["name"].as_str() == Some("process_name")
+                    && e["args"]["name"].as_str() == Some("requests")
+            })
+            .count();
+        assert_eq!(group_titles, 1);
+        for (req, lane_title) in [(7u64, "request 7"), (2, "request 2")] {
+            let lane = events
+                .iter()
+                .find(|e| {
+                    e["name"].as_str() == Some("thread_name")
+                        && e["args"]["name"].as_str() == Some(lane_title)
+                })
+                .unwrap();
+            assert_eq!(lane["pid"].as_u64(), Some(crate::chrome::REQUESTS_PID));
+            assert_eq!(lane["tid"].as_u64(), Some(crate::chrome::request_tid(req)));
+        }
+        let top = events
+            .iter()
+            .find(|e| e["name"].as_str() == Some("request 7") && e["ph"].as_str() == Some("X"))
+            .unwrap();
+        assert_eq!(top["dur"].as_u64(), Some(500));
+        assert_eq!(top["args"]["rows"].as_u64(), Some(3));
+        let stage = events
+            .iter()
+            .find(|e| e["name"].as_str() == Some("queue"))
+            .unwrap();
+        assert_eq!(stage["tid"], top["tid"]);
+        // Absolute timestamps: the session clock was never consulted.
+        assert_eq!(s.now(), 0.0);
     }
 
     #[test]
